@@ -1,0 +1,105 @@
+// Shared plumbing for the table/figure bench binaries: common CLI flags,
+// suite construction, and the Table I-style graph summary.
+//
+// Common flags (every bench accepts these):
+//   --scale=F        suite size multiplier (default 0.25; 1.0 = DESIGN.md §5
+//                    defaults; paper-sized graphs need >= 8 and hours)
+//   --graphs=a,b     comma-separated suite subset (default: all seven)
+//   --graph-file=P   use a real graph file (METIS/edge list) instead
+//   --insertions=N   edges removed + re-inserted (paper: 100; default 25)
+//   --sources=K      BC approximation sources (paper: 256; default 32)
+//   --seed=S         master seed (default 7)
+//   --csv=DIR        also write CSV outputs into DIR
+//   --verify         cross-check engines' final scores where applicable
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/emit.hpp"
+#include "analysis/experiment.hpp"
+#include "bc/bc_store.hpp"
+#include "gen/suite.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/io.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace bcdyn::bench {
+
+struct CommonConfig {
+  double scale = 0.25;
+  std::vector<std::string> graph_names;
+  std::string graph_file;
+  int insertions = 25;
+  int sources = 32;
+  std::uint64_t seed = 7;
+  std::string csv_dir;
+  bool verify = false;
+};
+
+inline CommonConfig parse_common(const util::Cli& cli) {
+  CommonConfig cfg;
+  cfg.scale = cli.get_double("scale", cfg.scale);
+  cfg.graph_file = cli.get("graph-file", "");
+  cfg.insertions = static_cast<int>(cli.get_int("insertions", cfg.insertions));
+  cfg.sources = static_cast<int>(cli.get_int("sources", cfg.sources));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  cfg.csv_dir = cli.get("csv", "");
+  cfg.verify = cli.get_bool("verify", false);
+  const std::string graphs = cli.get("graphs", "");
+  if (graphs.empty()) {
+    cfg.graph_names = gen::suite_names();
+  } else {
+    std::size_t pos = 0;
+    while (pos < graphs.size()) {
+      auto comma = graphs.find(',', pos);
+      if (comma == std::string::npos) comma = graphs.size();
+      cfg.graph_names.push_back(graphs.substr(pos, comma - pos));
+      pos = comma + 1;
+    }
+  }
+  return cfg;
+}
+
+inline std::string csv_path(const CommonConfig& cfg, const std::string& name) {
+  return cfg.csv_dir.empty() ? "" : cfg.csv_dir + "/" + name + ".csv";
+}
+
+/// Builds the requested graphs (suite subset or a single file).
+inline std::vector<gen::SuiteEntry> build_graphs(const CommonConfig& cfg) {
+  std::vector<gen::SuiteEntry> graphs;
+  if (!cfg.graph_file.empty()) {
+    graphs.push_back({cfg.graph_file, cfg.graph_file,
+                      io::load_graph(cfg.graph_file)});
+    return graphs;
+  }
+  for (const auto& name : cfg.graph_names) {
+    graphs.push_back(gen::build_suite_graph(name, cfg.scale, cfg.seed));
+  }
+  return graphs;
+}
+
+/// Prints the Table I analogue for the loaded graphs.
+inline void print_graph_summary(const std::vector<gen::SuiteEntry>& graphs) {
+  util::Table t({"Name", "Stands in for", "Vertices", "Edges", "AvgDeg",
+                 "MaxDeg", "Diam~"});
+  for (const auto& entry : graphs) {
+    const auto s = compute_stats(entry.graph);
+    t.add_row({entry.name, entry.paper_name, std::to_string(s.num_vertices),
+               std::to_string(s.num_edges), util::Table::fmt(s.avg_degree, 1),
+               std::to_string(s.max_degree),
+               std::to_string(s.approx_diameter)});
+  }
+  analysis::print_header("Benchmark graphs (paper Table I analogue)");
+  t.print(std::cout);
+}
+
+inline void warn_unused(const util::Cli& cli) {
+  for (const auto& key : cli.unused_keys()) {
+    std::cerr << "warning: unrecognized flag --" << key << "\n";
+  }
+}
+
+}  // namespace bcdyn::bench

@@ -1,0 +1,81 @@
+// Table III: node-parallel dynamic updates vs full static GPU
+// recomputation - slowest / average / fastest per-insertion update time
+// against one static pass over the final graph.
+//
+// Paper shape: even the slowest update beats recomputation (2-43x); the
+// fastest updates are the all-Case-1 insertions that cost only the
+// classification pass; average speedups land between ~9x and ~153x.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace bcdyn;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bench::CommonConfig cfg = bench::parse_common(cli);
+  // The paper's recomputation baseline is the static implementation of Jia
+  // et al. [13], which is edge-parallel; --static-mode=node compares against
+  // this library's faster node-parallel static instead (a stricter bar).
+  const std::string static_mode = cli.get("static-mode", "edge");
+  bench::warn_unused(cli);
+  const auto graphs = bench::build_graphs(cfg);
+  bench::print_graph_summary(graphs);
+
+  const ApproxConfig approx{.num_sources = cfg.sources, .seed = cfg.seed};
+  const auto spec = sim::DeviceSpec::tesla_c2075();
+  util::Table table(
+      {"Graph", "Recomputation (s)", "Update", "Time (s)", "Speedup"});
+  double geo_avg = 0.0;
+  int count = 0;
+
+  for (const auto& entry : graphs) {
+    const auto stream = analysis::make_insertion_stream(
+        entry.graph, {.num_insertions = cfg.insertions, .seed = cfg.seed});
+    std::cerr << "  " << entry.name << ": updates..." << std::flush;
+    const auto node =
+        analysis::run_gpu_dynamic(stream, approx, Parallelism::kNode, spec);
+    std::cerr << " recompute..." << std::flush;
+    std::vector<double> static_bc;
+    const double recompute = analysis::run_gpu_static_recompute(
+        entry.graph, approx,
+        static_mode == "node" ? Parallelism::kNode : Parallelism::kEdge, spec,
+        cfg.verify ? &static_bc : nullptr);
+    std::cerr << " done\n";
+
+    if (cfg.verify) {
+      const double diff = analysis::max_abs_diff(node.final_bc, static_bc);
+      if (diff > 1e-6) {
+        std::cerr << "VERIFY FAILED on " << entry.name << ": diff=" << diff
+                  << "\n";
+        return 1;
+      }
+    }
+
+    geo_avg += std::log(recompute / node.average_update);
+    ++count;
+    table.add_row({entry.name, util::Table::fmt(recompute, 4), "Slowest",
+                   util::Table::fmt(node.slowest_update, 6),
+                   util::Table::fmt_speedup(recompute / node.slowest_update)});
+    table.add_row({"", "", "Average", util::Table::fmt(node.average_update, 6),
+                   util::Table::fmt_speedup(recompute / node.average_update)});
+    table.add_row({"", "", "Fastest", util::Table::fmt(node.fastest_update, 6),
+                   util::Table::fmt_speedup(recompute / node.fastest_update)});
+  }
+
+  analysis::print_header(
+      "Table III: node-parallel GPU updates vs GPU recomputation (static " +
+      static_mode + "-parallel, per Jia et al. [13])");
+  analysis::emit_table(table,
+                       bench::csv_path(cfg, "table3_update_vs_recompute"));
+  if (count > 0) {
+    std::cout << "\nGeometric-mean average-update speedup over recompute: "
+              << util::Table::fmt_speedup(std::exp(geo_avg / count))
+              << " (paper: ~45x arithmetic mean across its suite)\n";
+  }
+  std::cout << "Paper shape: slowest update still beats recompute (2-43x); "
+               "fastest (all-Case-1) updates are orders of magnitude "
+               "faster.\n";
+  return 0;
+}

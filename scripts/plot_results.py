@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Plot the bench harness CSV outputs (run benches with --csv=results).
+
+Usage:  python3 scripts/plot_results.py [results_dir] [out_dir]
+
+Produces, when the corresponding CSV exists:
+  fig1_thread_blocks.png     speedup vs block count, per device
+  fig2_case_distribution.png stacked case shares per graph
+  fig4_touched_scatter.png   sorted touched-fraction scatter (paper Fig. 4)
+  table2_speedups.png        CPU/edge/node update-time bars per graph
+
+Falls back to a textual summary if matplotlib is unavailable.
+"""
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    return rows[0], rows[1:]
+
+
+def main():
+    results = sys.argv[1] if len(sys.argv) > 1 else "results"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else results
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; printing CSV summaries instead")
+        for name in sorted(os.listdir(results)):
+            if name.endswith(".csv"):
+                header, rows = read_csv(os.path.join(results, name))
+                print(f"\n== {name} ({len(rows)} rows) ==")
+                print("  " + ", ".join(header))
+                for row in rows[:5]:
+                    print("  " + ", ".join(row))
+        return
+
+    os.makedirs(out_dir, exist_ok=True)
+
+    fig1 = os.path.join(results, "fig1_thread_blocks.csv")
+    if os.path.exists(fig1):
+        header, rows = read_csv(fig1)
+        blocks = [int(h.split()[0]) for h in header[2:]]
+        plt.figure(figsize=(7, 4))
+        for row in rows:
+            speedups = [float(c.rstrip("x")) for c in row[2:]]
+            plt.plot(blocks, speedups, marker="o",
+                     label=f"{row[0]} / {row[1]}")
+        plt.xscale("log", base=2)
+        plt.xlabel("thread blocks")
+        plt.ylabel("speedup vs 1 block")
+        plt.title("Static BC speedup vs thread blocks (paper Fig. 1)")
+        plt.legend(fontsize=7)
+        plt.tight_layout()
+        plt.savefig(os.path.join(out_dir, "fig1_thread_blocks.png"), dpi=130)
+        print("wrote fig1_thread_blocks.png")
+
+    fig2 = os.path.join(results, "fig2_case_distribution.csv")
+    if os.path.exists(fig2):
+        header, rows = read_csv(fig2)
+        graphs = [r[0] for r in rows]
+        case1 = [float(r[2].rstrip("%")) for r in rows]
+        case2 = [float(r[3].rstrip("%")) for r in rows]
+        case3 = [float(r[4].rstrip("%")) for r in rows]
+        plt.figure(figsize=(7, 4))
+        plt.bar(graphs, case1, label="Case 1 (no work)")
+        plt.bar(graphs, case2, bottom=case1, label="Case 2")
+        plt.bar(graphs, case3,
+                bottom=[a + b for a, b in zip(case1, case2)], label="Case 3")
+        plt.ylabel("% of scenarios")
+        plt.title("Update-scenario distribution (paper Fig. 2)")
+        plt.legend()
+        plt.tight_layout()
+        plt.savefig(os.path.join(out_dir, "fig2_case_distribution.png"),
+                    dpi=130)
+        print("wrote fig2_case_distribution.png")
+
+    fig4 = os.path.join(results, "fig4_touched_scatter.csv")
+    if os.path.exists(fig4):
+        header, rows = read_csv(fig4)
+        series = {}
+        for graph, idx, frac in rows:
+            series.setdefault(graph, []).append(float(frac))
+        plt.figure(figsize=(7, 4))
+        for graph, fractions in series.items():
+            plt.scatter(range(len(fractions)), fractions, s=4, label=graph)
+        plt.xlabel("Case 2 scenario (sorted)")
+        plt.ylabel("fraction of graph touched")
+        plt.title("Touched portion per Case 2 scenario (paper Fig. 4)")
+        plt.legend(fontsize=7, markerscale=2)
+        plt.tight_layout()
+        plt.savefig(os.path.join(out_dir, "fig4_touched_scatter.png"), dpi=130)
+        print("wrote fig4_touched_scatter.png")
+
+    table2 = os.path.join(results, "table2_dynamic_speedup.csv")
+    if os.path.exists(table2):
+        header, rows = read_csv(table2)
+        graphs, cpu, edge, node = [], [], [], []
+        for row in rows:
+            if row[0]:
+                graphs.append(row[0])
+                cpu.append(float(row[1]))
+                edge.append(float(row[3]))
+            else:
+                node.append(float(row[3]))
+        plt.figure(figsize=(7, 4))
+        x = range(len(graphs))
+        width = 0.28
+        plt.bar([i - width for i in x], cpu, width, label="CPU")
+        plt.bar(list(x), edge, width, label="GPU edge")
+        plt.bar([i + width for i in x], node, width, label="GPU node")
+        plt.xticks(list(x), graphs)
+        plt.yscale("log")
+        plt.ylabel("modeled update time (s), log scale")
+        plt.title("Dynamic update time per engine (paper Table II)")
+        plt.legend()
+        plt.tight_layout()
+        plt.savefig(os.path.join(out_dir, "table2_speedups.png"), dpi=130)
+        print("wrote table2_speedups.png")
+
+
+if __name__ == "__main__":
+    main()

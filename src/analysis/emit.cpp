@@ -1,0 +1,24 @@
+#include "analysis/emit.hpp"
+
+#include <fstream>
+#include <iostream>
+
+namespace bcdyn::analysis {
+
+void print_header(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+}
+
+bool emit_table(const util::Table& table, const std::string& csv_path) {
+  table.print(std::cout);
+  if (csv_path.empty()) return true;
+  std::ofstream out(csv_path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << csv_path << "\n";
+    return false;
+  }
+  table.print_csv(out);
+  return true;
+}
+
+}  // namespace bcdyn::analysis

@@ -1,0 +1,18 @@
+// Output helpers for the bench binaries: consistent section headers on
+// stdout and optional CSV dumps for plotting.
+#pragma once
+
+#include <string>
+
+#include "util/table.hpp"
+
+namespace bcdyn::analysis {
+
+/// Prints a boxed section header to stdout.
+void print_header(const std::string& title);
+
+/// Prints the table to stdout and, when `csv_path` is non-empty, writes it
+/// as CSV (creating/overwriting the file). Returns false on I/O failure.
+bool emit_table(const util::Table& table, const std::string& csv_path = "");
+
+}  // namespace bcdyn::analysis

@@ -1,0 +1,54 @@
+#include "analysis/scenario_stats.hpp"
+
+#include <cstdio>
+
+namespace bcdyn::analysis {
+
+void ScenarioStats::record(UpdateCase c) {
+  switch (c) {
+    case UpdateCase::kNoWork:
+      ++case1;
+      break;
+    case UpdateCase::kAdjacent:
+      ++case2;
+      break;
+    case UpdateCase::kFar:
+      ++case3;
+      break;
+  }
+}
+
+ScenarioStats& ScenarioStats::operator+=(const ScenarioStats& o) {
+  case1 += o.case1;
+  case2 += o.case2;
+  case3 += o.case3;
+  return *this;
+}
+
+double ScenarioStats::fraction_case(int which) const {
+  const auto t = total();
+  if (t == 0) return 0.0;
+  const std::uint64_t v = which == 1 ? case1 : which == 2 ? case2 : case3;
+  return static_cast<double>(v) / static_cast<double>(t);
+}
+
+double ScenarioStats::case2_share_of_work() const {
+  const auto w = work_requiring();
+  if (w == 0) return 0.0;
+  return static_cast<double>(case2) / static_cast<double>(w);
+}
+
+std::string ScenarioStats::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "case1=%llu (%.1f%%) case2=%llu (%.1f%%) case3=%llu (%.1f%%)",
+                static_cast<unsigned long long>(case1),
+                100.0 * fraction_case(1),
+                static_cast<unsigned long long>(case2),
+                100.0 * fraction_case(2),
+                static_cast<unsigned long long>(case3),
+                100.0 * fraction_case(3));
+  return buf;
+}
+
+}  // namespace bcdyn::analysis

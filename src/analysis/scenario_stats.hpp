@@ -1,0 +1,29 @@
+// Aggregation of update-scenario distributions (paper Fig. 2): for every
+// (insertion, source) pair, which of the three cases occurred.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bc/case_classify.hpp"
+
+namespace bcdyn::analysis {
+
+struct ScenarioStats {
+  std::uint64_t case1 = 0;
+  std::uint64_t case2 = 0;
+  std::uint64_t case3 = 0;
+
+  void record(UpdateCase c);
+  ScenarioStats& operator+=(const ScenarioStats& o);
+
+  std::uint64_t total() const { return case1 + case2 + case3; }
+  std::uint64_t work_requiring() const { return case2 + case3; }
+
+  double fraction_case(int which) const;        // of all scenarios
+  double case2_share_of_work() const;           // of case2+case3
+
+  std::string to_string() const;
+};
+
+}  // namespace bcdyn::analysis

@@ -1,0 +1,44 @@
+#include "analysis/touched_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bcdyn::analysis {
+
+std::vector<double> TouchedRecorder::sorted_fractions() const {
+  std::vector<double> out = fractions_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double TouchedRecorder::max_fraction() const {
+  double best = 0.0;
+  for (double f : fractions_) best = std::max(best, f);
+  return best;
+}
+
+double TouchedRecorder::median_fraction() const {
+  if (fractions_.empty()) return 0.0;
+  auto sorted = sorted_fractions();
+  return sorted[sorted.size() / 2];
+}
+
+double TouchedRecorder::share_below(double threshold) const {
+  if (fractions_.empty()) return 0.0;
+  std::size_t below = 0;
+  for (double f : fractions_) {
+    if (f <= threshold) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(fractions_.size());
+}
+
+std::string TouchedRecorder::summary() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "scenarios=%zu max=%.3f%% median=%.4f%% below1%%=%.1f%%",
+                fractions_.size(), 100.0 * max_fraction(),
+                100.0 * median_fraction(), 100.0 * share_below(0.01));
+  return buf;
+}
+
+}  // namespace bcdyn::analysis

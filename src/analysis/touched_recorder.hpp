@@ -1,0 +1,38 @@
+// Records the fraction of the graph touched by each Case 2 scenario
+// (paper Fig. 4: a scatter of |touched|/n values, sorted ascending).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bcdyn::analysis {
+
+class TouchedRecorder {
+ public:
+  explicit TouchedRecorder(VertexId num_vertices) : n_(num_vertices) {}
+
+  void record(VertexId touched) {
+    fractions_.push_back(static_cast<double>(touched) /
+                         static_cast<double>(n_));
+  }
+
+  std::size_t count() const { return fractions_.size(); }
+
+  /// Sorted ascending (the x-axis ordering of Fig. 4).
+  std::vector<double> sorted_fractions() const;
+
+  double max_fraction() const;
+  double median_fraction() const;
+  /// Fraction of scenarios that touched at most `threshold` of the graph.
+  double share_below(double threshold) const;
+
+  std::string summary() const;
+
+ private:
+  VertexId n_;
+  std::vector<double> fractions_;
+};
+
+}  // namespace bcdyn::analysis

@@ -1,0 +1,78 @@
+#include "bc/bc_store.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace bcdyn {
+
+std::vector<VertexId> choose_sources(VertexId n, const ApproxConfig& config) {
+  std::vector<VertexId> sources;
+  if (config.num_sources <= 0 || config.num_sources >= n) {
+    sources.resize(static_cast<std::size_t>(n));
+    std::iota(sources.begin(), sources.end(), VertexId{0});
+    return sources;
+  }
+  // Partial Fisher-Yates over the vertex ids: k distinct uniform draws.
+  util::Rng rng(config.seed ^ 0x5eedu);
+  std::vector<VertexId> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), VertexId{0});
+  for (int i = 0; i < config.num_sources; ++i) {
+    const auto j = static_cast<std::size_t>(
+        i + static_cast<std::int64_t>(
+                rng.next_below(static_cast<std::uint64_t>(n - i))));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+  }
+  pool.resize(static_cast<std::size_t>(config.num_sources));
+  return pool;
+}
+
+BcStore::BcStore(VertexId num_vertices, const ApproxConfig& config)
+    : n_(num_vertices), sources_(choose_sources(num_vertices, config)) {
+  const auto rows = sources_.size();
+  const auto n = static_cast<std::size_t>(n_);
+  dist_.assign(rows * n, kInfDist);
+  sigma_.assign(rows * n, 0.0);
+  delta_.assign(rows * n, 0.0);
+  bc_.assign(n, 0.0);
+}
+
+std::span<Dist> BcStore::dist_row(int source_index) {
+  return {dist_.data() + static_cast<std::size_t>(source_index) * n_,
+          static_cast<std::size_t>(n_)};
+}
+std::span<Sigma> BcStore::sigma_row(int source_index) {
+  return {sigma_.data() + static_cast<std::size_t>(source_index) * n_,
+          static_cast<std::size_t>(n_)};
+}
+std::span<double> BcStore::delta_row(int source_index) {
+  return {delta_.data() + static_cast<std::size_t>(source_index) * n_,
+          static_cast<std::size_t>(n_)};
+}
+std::span<const Dist> BcStore::dist_row(int source_index) const {
+  return {dist_.data() + static_cast<std::size_t>(source_index) * n_,
+          static_cast<std::size_t>(n_)};
+}
+std::span<const Sigma> BcStore::sigma_row(int source_index) const {
+  return {sigma_.data() + static_cast<std::size_t>(source_index) * n_,
+          static_cast<std::size_t>(n_)};
+}
+std::span<const double> BcStore::delta_row(int source_index) const {
+  return {delta_.data() + static_cast<std::size_t>(source_index) * n_,
+          static_cast<std::size_t>(n_)};
+}
+
+void BcStore::clear() {
+  std::fill(dist_.begin(), dist_.end(), kInfDist);
+  std::fill(sigma_.begin(), sigma_.end(), 0.0);
+  std::fill(delta_.begin(), delta_.end(), 0.0);
+  std::fill(bc_.begin(), bc_.end(), 0.0);
+}
+
+std::size_t BcStore::state_bytes() const {
+  return dist_.size() * sizeof(Dist) + sigma_.size() * sizeof(Sigma) +
+         delta_.size() * sizeof(double);
+}
+
+}  // namespace bcdyn

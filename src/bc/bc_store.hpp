@@ -1,0 +1,64 @@
+// Persistent per-source state for dynamic betweenness centrality.
+//
+// Updating instead of recomputing requires keeping, for every source s,
+// the BFS distances d_s, shortest-path counts sigma_s, and dependencies
+// delta_s for all vertices (paper §II.D: O(kn) space for k sources). The
+// store owns those arrays plus the BC scores themselves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace bcdyn {
+
+/// How betweenness is approximated (paper §II.B): k random source vertices.
+/// num_sources <= 0 or >= n selects every vertex (exact computation).
+struct ApproxConfig {
+  int num_sources = 256;
+  std::uint64_t seed = 0;
+};
+
+class BcStore {
+ public:
+  BcStore(VertexId num_vertices, const ApproxConfig& config);
+
+  VertexId num_vertices() const { return n_; }
+  int num_sources() const { return static_cast<int>(sources_.size()); }
+  std::span<const VertexId> sources() const { return sources_; }
+  bool exact() const { return num_sources() == n_; }
+
+  std::span<Dist> dist_row(int source_index);
+  std::span<Sigma> sigma_row(int source_index);
+  std::span<double> delta_row(int source_index);
+  std::span<const Dist> dist_row(int source_index) const;
+  std::span<const Sigma> sigma_row(int source_index) const;
+  std::span<const double> delta_row(int source_index) const;
+
+  std::span<double> bc() { return bc_; }
+  std::span<const double> bc() const { return bc_; }
+
+  /// Zeroes BC and resets every per-source row to the "not yet computed"
+  /// state (d = inf, sigma = 0, delta = 0).
+  void clear();
+
+  /// Memory footprint of the per-source state in bytes (the O(kn) term).
+  std::size_t state_bytes() const;
+
+ private:
+  VertexId n_;
+  std::vector<VertexId> sources_;
+  std::vector<Dist> dist_;      // k rows of n
+  std::vector<Sigma> sigma_;    // k rows of n
+  std::vector<double> delta_;   // k rows of n
+  std::vector<double> bc_;      // n
+};
+
+/// Chooses the source set for `config` on an n-vertex graph: all vertices
+/// when exact, otherwise k distinct vertices drawn without replacement.
+std::vector<VertexId> choose_sources(VertexId n, const ApproxConfig& config);
+
+}  // namespace bcdyn

@@ -1,0 +1,81 @@
+#include "bc/brandes.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace bcdyn {
+
+void brandes_source(const CSRGraph& g, VertexId s, std::span<Dist> dist,
+                    std::span<Sigma> sigma, std::span<double> delta,
+                    std::span<double> bc_accum) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  assert(dist.size() == n && sigma.size() == n && delta.size() == n);
+
+  // Stage 1: initialization.
+  std::fill(dist.begin(), dist.end(), kInfDist);
+  std::fill(sigma.begin(), sigma.end(), Sigma{0});
+  std::fill(delta.begin(), delta.end(), 0.0);
+  dist[static_cast<std::size_t>(s)] = 0;
+  sigma[static_cast<std::size_t>(s)] = 1;
+
+  // Stage 2: shortest-path calculation (BFS). `order` doubles as queue and,
+  // read backwards, as the dependency stack S.
+  std::vector<VertexId> order;
+  order.reserve(n);
+  order.push_back(s);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const VertexId v = order[head];
+    const Dist dv = dist[static_cast<std::size_t>(v)];
+    for (VertexId w : g.neighbors(v)) {
+      const auto wi = static_cast<std::size_t>(w);
+      if (dist[wi] == kInfDist) {
+        dist[wi] = dv + 1;
+        order.push_back(w);
+      }
+      if (dist[wi] == dv + 1) {
+        sigma[wi] += sigma[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+
+  // Stage 3: dependency accumulation in reverse BFS order. Predecessors of
+  // w are found by rescanning neighbors one level up (no P lists).
+  for (std::size_t i = order.size(); i-- > 1;) {
+    const VertexId w = order[i];
+    const auto wi = static_cast<std::size_t>(w);
+    const double coeff = (1.0 + delta[wi]) / sigma[wi];
+    for (VertexId v : g.neighbors(w)) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (dist[vi] + 1 == dist[wi]) {
+        delta[vi] += sigma[vi] * coeff;
+      }
+    }
+    if (!bc_accum.empty() && w != s) {
+      bc_accum[wi] += delta[wi];
+    }
+  }
+}
+
+void brandes_all(const CSRGraph& g, BcStore& store) {
+  store.clear();
+  for (int i = 0; i < store.num_sources(); ++i) {
+    brandes_source(g, store.sources()[static_cast<std::size_t>(i)],
+                   store.dist_row(i), store.sigma_row(i), store.delta_row(i),
+                   store.bc());
+  }
+}
+
+std::vector<double> betweenness_exact(const CSRGraph& g) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<double> bc(n, 0.0);
+  std::vector<Dist> dist(n);
+  std::vector<Sigma> sigma(n);
+  std::vector<double> delta(n);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    brandes_source(g, s, dist, sigma, delta, bc);
+  }
+  return bc;
+}
+
+}  // namespace bcdyn

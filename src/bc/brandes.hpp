@@ -1,0 +1,30 @@
+// Sequential static betweenness centrality (Brandes 2001, Algorithm 1 of
+// the paper), in the predecessor-free formulation of Green & Bader [18]:
+// the dependency stage rescans neighbor lists instead of storing P[w],
+// saving O(m) memory - the same formulation every engine in this library
+// uses, so intermediate sigma/delta values are directly comparable.
+#pragma once
+
+#include <span>
+
+#include "bc/bc_store.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace bcdyn {
+
+/// One Brandes iteration from source s. Fills dist/sigma/delta (which must
+/// be n-sized spans) and adds the per-source dependencies into bc_accum
+/// (pass an empty span to skip BC accumulation).
+void brandes_source(const CSRGraph& g, VertexId s, std::span<Dist> dist,
+                    std::span<Sigma> sigma, std::span<double> delta,
+                    std::span<double> bc_accum);
+
+/// Full (approximate or exact, per the store's source set) static BC pass:
+/// clears the store and recomputes every row plus the BC scores.
+void brandes_all(const CSRGraph& g, BcStore& store);
+
+/// Convenience: exact BC scores of g without keeping per-source state.
+std::vector<double> betweenness_exact(const CSRGraph& g);
+
+}  // namespace bcdyn

@@ -1,0 +1,27 @@
+#include "bc/case_classify.hpp"
+
+namespace bcdyn {
+
+CaseInfo classify_insertion(std::span<const Dist> dist, VertexId u,
+                            VertexId v) {
+  const Dist du = dist[static_cast<std::size_t>(u)];
+  const Dist dv = dist[static_cast<std::size_t>(v)];
+  CaseInfo info;
+  if (du == dv) {
+    // Same level; also covers "both unreachable" (both kInfDist): the new
+    // edge lives entirely outside s's component and changes nothing.
+    info.update_case = UpdateCase::kNoWork;
+    return info;
+  }
+  info.u_high = du < dv ? u : v;
+  info.u_low = du < dv ? v : u;
+  const Dist lo = du < dv ? du : dv;
+  const Dist hi = du < dv ? dv : du;
+  // hi may be kInfDist (one endpoint unreachable): that is a Case 3 - the
+  // unreachable side gets finite distances through the new edge.
+  info.update_case =
+      (hi - lo == 1) ? UpdateCase::kAdjacent : UpdateCase::kFar;
+  return info;
+}
+
+}  // namespace bcdyn

@@ -1,0 +1,33 @@
+// Classification of an edge insertion per source (paper §II.D.1).
+//
+// For source s and inserted edge {u, v}:
+//   Case 1: |d_s(u) - d_s(v)| = 0  - no work (same level, or neither
+//           endpoint reachable from s);
+//   Case 2: |d_s(u) - d_s(v)| = 1  - sigma/delta may change, distances don't;
+//   Case 3: |d_s(u) - d_s(v)| > 1  - distances change (includes the
+//           "one endpoint unreachable" component-attach sub-case).
+#pragma once
+
+#include <span>
+
+#include "util/types.hpp"
+
+namespace bcdyn {
+
+enum class UpdateCase : int {
+  kNoWork = 1,    // Case 1
+  kAdjacent = 2,  // Case 2
+  kFar = 3,       // Case 3
+};
+
+struct CaseInfo {
+  UpdateCase update_case = UpdateCase::kNoWork;
+  VertexId u_high = kNoVertex;  // endpoint closer to the source
+  VertexId u_low = kNoVertex;   // endpoint farther from the source
+};
+
+/// Classifies the insertion of edge {u, v} for the source whose distance
+/// row is `dist` (distances *before* the insertion).
+CaseInfo classify_insertion(std::span<const Dist> dist, VertexId u, VertexId v);
+
+}  // namespace bcdyn

@@ -1,0 +1,128 @@
+#include "bc/degree1_folding.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/connected_components.hpp"
+
+namespace bcdyn {
+
+std::vector<double> betweenness_exact_folded(const CSRGraph& g,
+                                             FoldingStats* stats) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<double> bc(n, 0.0);
+  if (n == 0) return bc;
+
+  // Original component sizes (pair accounting needs them).
+  const Components comps = connected_components(g);
+  std::unordered_map<VertexId, double> comp_size;
+  for (VertexId rep : comps.label) comp_size[rep] += 1.0;
+
+  // Residual degrees + reach weights; fold degree-1 vertices away.
+  std::vector<VertexId> degree(n);
+  std::vector<double> reach(n, 1.0);
+  std::vector<bool> removed(n, false);
+  std::vector<VertexId> worklist;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    degree[static_cast<std::size_t>(v)] = g.degree(v);
+    if (g.degree(v) == 1) worklist.push_back(v);
+  }
+
+  VertexId num_removed = 0;
+  for (std::size_t head = 0; head < worklist.size(); ++head) {
+    const VertexId v = worklist[head];
+    const auto vi = static_cast<std::size_t>(v);
+    if (removed[vi] || degree[vi] != 1) continue;
+    // Find the single surviving neighbor.
+    VertexId u = kNoVertex;
+    for (VertexId w : g.neighbors(v)) {
+      if (!removed[static_cast<std::size_t>(w)]) {
+        u = w;
+        break;
+      }
+    }
+    if (u == kNoVertex) continue;  // isolated remainder of a tree
+    const auto ui = static_cast<std::size_t>(u);
+    const double nc = comp_size[comps.label[vi]];
+    const double rv = reach[vi];
+
+    // v gates its folded subtree to everything outside it...
+    bc[vi] += 2.0 * (rv - 1.0) * (nc - rv);
+    // ...and u lies between v's subtree and its own previously folded ones.
+    bc[ui] += 2.0 * rv * (reach[ui] - 1.0);
+
+    reach[ui] += rv;
+    removed[vi] = true;
+    ++num_removed;
+    if (--degree[ui] == 1) worklist.push_back(u);
+  }
+
+  // Weighted Brandes over the reduced graph. Sources and targets carry
+  // reach() multiplicities; traversal skips removed vertices.
+  std::vector<Dist> dist(n);
+  std::vector<Sigma> sigma(n);
+  std::vector<double> delta(n);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  EdgeId remaining_edges = 0;
+
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    if (removed[si]) continue;
+    remaining_edges += degree[si];  // counts arcs; halved below
+
+    std::fill(dist.begin(), dist.end(), kInfDist);
+    std::fill(sigma.begin(), sigma.end(), Sigma{0});
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+    dist[si] = 0;
+    sigma[si] = 1;
+    order.push_back(s);
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      const VertexId v = order[head];
+      const auto vi = static_cast<std::size_t>(v);
+      for (VertexId w : g.neighbors(v)) {
+        const auto wi = static_cast<std::size_t>(w);
+        if (removed[wi]) continue;
+        if (dist[wi] == kInfDist) {
+          dist[wi] = dist[vi] + 1;
+          order.push_back(w);
+        }
+        if (dist[wi] == dist[vi] + 1) sigma[wi] += sigma[vi];
+      }
+    }
+    for (std::size_t i = order.size(); i-- > 1;) {
+      const VertexId w = order[i];
+      const auto wi = static_cast<std::size_t>(w);
+      // Target weight reach(w): each folded original vertex behind w is an
+      // endpoint for this source's pairs.
+      const double coeff = (reach[wi] + delta[wi]) / sigma[wi];
+      for (VertexId x : g.neighbors(w)) {
+        const auto xi = static_cast<std::size_t>(x);
+        if (removed[xi]) continue;
+        if (dist[xi] + 1 == dist[wi]) delta[xi] += sigma[xi] * coeff;
+      }
+      bc[wi] += reach[si] * delta[wi];
+    }
+  }
+
+  // Surviving vertices gate their folded subtrees to the rest.
+  VertexId num_remaining = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto ui = static_cast<std::size_t>(u);
+    if (removed[ui]) continue;
+    ++num_remaining;
+    const double nc = comp_size[comps.label[ui]];
+    bc[ui] += 2.0 * (reach[ui] - 1.0) * (nc - reach[ui]);
+  }
+
+  if (stats != nullptr) {
+    stats->removed = num_removed;
+    stats->remaining = num_remaining;
+    stats->remaining_edges = remaining_edges / 2;
+  }
+  return bc;
+}
+
+}  // namespace bcdyn

@@ -1,0 +1,240 @@
+#include "bc/dynamic_bc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bc/brandes.hpp"
+#include "gpusim/cost_model.hpp"
+#include "util/stopwatch.hpp"
+
+namespace bcdyn {
+
+const char* to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kCpu:
+      return "cpu";
+    case EngineKind::kGpuEdge:
+      return "gpu-edge";
+    case EngineKind::kGpuNode:
+      return "gpu-node";
+  }
+  return "?";
+}
+
+DynamicBc::DynamicBc(const CSRGraph& g, ApproxConfig config, EngineKind engine,
+                     sim::DeviceSpec device_spec)
+    : dyn_(DynamicGraph::from_csr(g)),
+      csr_(g),
+      store_(g.num_vertices(), config),
+      engine_(engine) {
+  switch (engine_) {
+    case EngineKind::kCpu:
+      cpu_engine_ = std::make_unique<DynamicCpuEngine>(g.num_vertices());
+      break;
+    case EngineKind::kGpuEdge:
+    case EngineKind::kGpuNode: {
+      const Parallelism mode = engine_ == EngineKind::kGpuEdge
+                                   ? Parallelism::kEdge
+                                   : Parallelism::kNode;
+      gpu_engine_ =
+          std::make_unique<DynamicGpuBc>(device_spec, mode, cost_model_);
+      gpu_static_ =
+          std::make_unique<StaticGpuBc>(device_spec, mode, cost_model_);
+      break;
+    }
+  }
+}
+
+void DynamicBc::compute() {
+  recompute();
+  computed_ = true;
+}
+
+void DynamicBc::recompute() {
+  if (engine_ == EngineKind::kCpu) {
+    brandes_all(csr_, store_);
+  } else {
+    gpu_static_->compute(csr_, store_);
+  }
+}
+
+InsertOutcome DynamicBc::insert_edge(VertexId u, VertexId v) {
+  if (!computed_) {
+    throw std::logic_error("DynamicBc::compute() must run before insert_edge");
+  }
+  util::Stopwatch structure_clock;
+  InsertOutcome outcome;
+  if (!dyn_.insert_edge(u, v)) {
+    return outcome;  // self loop, out of range, or already present
+  }
+  csr_ = dyn_.snapshot_csr();
+  outcome.structure_wall_seconds = structure_clock.elapsed_s();
+  outcome = run_update(u, v);
+  outcome.inserted = true;
+  outcome.structure_wall_seconds = structure_clock.elapsed_s() -
+                                   outcome.update_wall_seconds;
+  return outcome;
+}
+
+InsertOutcome DynamicBc::insert_edges(
+    std::span<const std::pair<VertexId, VertexId>> edges) {
+  InsertOutcome total;
+  for (const auto& [u, v] : edges) {
+    const InsertOutcome one = insert_edge(u, v);
+    total.inserted = total.inserted || one.inserted;
+    total.case1 += one.case1;
+    total.case2 += one.case2;
+    total.case3 += one.case3;
+    total.max_touched = std::max(total.max_touched, one.max_touched);
+    total.update_wall_seconds += one.update_wall_seconds;
+    total.modeled_seconds += one.modeled_seconds;
+    total.structure_wall_seconds += one.structure_wall_seconds;
+  }
+  return total;
+}
+
+double DynamicBc::verify_against_recompute() const {
+  // Recompute scores over the store's exact source set with scratch rows.
+  std::vector<Dist> dist(static_cast<std::size_t>(csr_.num_vertices()));
+  std::vector<Sigma> sigma(dist.size());
+  std::vector<double> delta(dist.size());
+  std::vector<double> bc(dist.size(), 0.0);
+  for (const VertexId s : store_.sources()) {
+    brandes_source(csr_, s, dist, sigma, delta, bc);
+  }
+  double worst = 0.0;
+  for (std::size_t v = 0; v < bc.size(); ++v) {
+    worst = std::max(worst, std::abs(bc[v] - store_.bc()[v]));
+  }
+  return worst;
+}
+
+InsertOutcome DynamicBc::run_update(VertexId u, VertexId v) {
+  InsertOutcome outcome;
+  util::Stopwatch clock;
+  if (engine_ == EngineKind::kCpu) {
+    cpu_engine_->reset_counters();
+    for (int si = 0; si < store_.num_sources(); ++si) {
+      const VertexId s = store_.sources()[static_cast<std::size_t>(si)];
+      const SourceUpdateOutcome r = cpu_engine_->update_source(
+          csr_, s, store_.dist_row(si), store_.sigma_row(si),
+          store_.delta_row(si), store_.bc(), u, v);
+      switch (r.update_case) {
+        case UpdateCase::kNoWork:
+          ++outcome.case1;
+          break;
+        case UpdateCase::kAdjacent:
+          ++outcome.case2;
+          break;
+        case UpdateCase::kFar:
+          ++outcome.case3;
+          break;
+      }
+      outcome.max_touched = std::max(outcome.max_touched, r.touched);
+    }
+    const CpuOpCounters& ops = cpu_engine_->counters();
+    outcome.modeled_seconds =
+        sim::cpu_seconds(cost_model_, ops.instrs, ops.reads, ops.writes);
+  } else {
+    const GpuUpdateResult r = gpu_engine_->insert_edge_update(csr_, store_, u, v);
+    for (const auto& o : r.outcomes) {
+      switch (o.update_case) {
+        case UpdateCase::kNoWork:
+          ++outcome.case1;
+          break;
+        case UpdateCase::kAdjacent:
+          ++outcome.case2;
+          break;
+        case UpdateCase::kFar:
+          ++outcome.case3;
+          break;
+      }
+      outcome.max_touched = std::max(outcome.max_touched, o.touched);
+    }
+    outcome.modeled_seconds = r.stats.seconds;
+  }
+  outcome.update_wall_seconds = clock.elapsed_s();
+  return outcome;
+}
+
+InsertOutcome DynamicBc::remove_edge(VertexId u, VertexId v) {
+  if (!computed_) {
+    throw std::logic_error("DynamicBc::compute() must run before remove_edge");
+  }
+  util::Stopwatch structure_clock;
+  InsertOutcome outcome;
+  if (!dyn_.remove_edge(u, v)) {
+    return outcome;
+  }
+  csr_ = dyn_.snapshot_csr();
+  outcome.structure_wall_seconds = structure_clock.elapsed_s();
+  util::Stopwatch clock;
+  if (engine_ == EngineKind::kCpu) {
+    // Decremental incremental path: same-level removals are free, adjacent
+    // removals with surviving parents run the negative-increment Case 2,
+    // and only distance-growing removals recompute (per source, not
+    // globally).
+    cpu_engine_->reset_counters();
+    for (int si = 0; si < store_.num_sources(); ++si) {
+      const VertexId s = store_.sources()[static_cast<std::size_t>(si)];
+      const SourceUpdateOutcome r = cpu_engine_->remove_update_source(
+          csr_, s, store_.dist_row(si), store_.sigma_row(si),
+          store_.delta_row(si), store_.bc(), u, v);
+      switch (r.update_case) {
+        case UpdateCase::kNoWork:
+          ++outcome.case1;
+          break;
+        case UpdateCase::kAdjacent:
+          ++outcome.case2;
+          break;
+        case UpdateCase::kFar:
+          ++outcome.case3;
+          break;
+      }
+      outcome.max_touched = std::max(outcome.max_touched, r.touched);
+    }
+    const CpuOpCounters& ops = cpu_engine_->counters();
+    outcome.modeled_seconds =
+        sim::cpu_seconds(cost_model_, ops.instrs, ops.reads, ops.writes);
+  } else {
+    const GpuUpdateResult r = gpu_engine_->remove_edge_update(csr_, store_, u, v);
+    for (const auto& o : r.outcomes) {
+      switch (o.update_case) {
+        case UpdateCase::kNoWork:
+          ++outcome.case1;
+          break;
+        case UpdateCase::kAdjacent:
+          ++outcome.case2;
+          break;
+        case UpdateCase::kFar:
+          ++outcome.case3;
+          break;
+      }
+      outcome.max_touched = std::max(outcome.max_touched, o.touched);
+    }
+    outcome.modeled_seconds = r.stats.seconds;
+  }
+  outcome.inserted = true;
+  outcome.update_wall_seconds = clock.elapsed_s();
+  return outcome;
+}
+
+std::vector<std::pair<VertexId, double>> DynamicBc::top_k(int k) const {
+  std::vector<std::pair<VertexId, double>> ranked;
+  ranked.reserve(static_cast<std::size_t>(csr_.num_vertices()));
+  for (VertexId v = 0; v < csr_.num_vertices(); ++v) {
+    ranked.emplace_back(v, store_.bc()[static_cast<std::size_t>(v)]);
+  }
+  const auto count = std::min<std::size_t>(static_cast<std::size_t>(std::max(k, 0)),
+                                           ranked.size());
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + static_cast<std::ptrdiff_t>(count),
+                    ranked.end(), [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  ranked.resize(count);
+  return ranked;
+}
+
+}  // namespace bcdyn

@@ -1,0 +1,125 @@
+// Sequential dynamic betweenness centrality (the paper's CPU baseline,
+// after Green, McColl & Bader [10]).
+//
+// Case 2 (endpoints on adjacent levels) follows the paper's Algorithm 2
+// verbatim: BFS down from u_low propagating sigma-hat increments, then a
+// multi-level-queue dependency accumulation applying +new/-old corrections
+// to brushed ("up") predecessors.
+//
+// Case 3 (endpoints more than one level apart, including the component-
+// attach sub-case) uses the generalized repair described in DESIGN.md §7:
+//   Phase A  ascending-level BFS from u_low; moved vertices get new
+//            distances, and every vertex whose parent set or parent sigmas
+//            changed gets sigma-hat recomputed from its (new) parents.
+//   Phase B  a "lost parent" pre-pass subtracts moved vertices' old
+//            contributions from predecessors they abandoned, then a
+//            descending-level sweep rebuilds delta for RESET vertices
+//            (moved or sigma changed) from scratch and applies +new/-old
+//            differentials to CARRY vertices (delta-only changes).
+// Case 2 is a special case of this framework; a dedicated test checks that
+// both paths produce identical state on Case 2 insertions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bc/case_classify.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace bcdyn {
+
+/// Operation counters for the sequential engine; converted to modeled CPU
+/// seconds via sim::cpu_seconds (see gpusim/cost_model.hpp).
+struct CpuOpCounters {
+  std::uint64_t instrs = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  CpuOpCounters& operator+=(const CpuOpCounters& o) {
+    instrs += o.instrs;
+    reads += o.reads;
+    writes += o.writes;
+    return *this;
+  }
+};
+
+/// Per-source outcome of one edge insertion.
+struct SourceUpdateOutcome {
+  UpdateCase update_case = UpdateCase::kNoWork;
+  VertexId touched = 0;  // |{v : t[v] != untouched}| (0 for Case 1)
+};
+
+class DynamicCpuEngine {
+ public:
+  explicit DynamicCpuEngine(VertexId num_vertices);
+
+  /// Updates source s's rows (dist/sigma/delta, holding pre-insertion
+  /// values) and the shared BC scores for the insertion of edge {u, v}.
+  /// `g` must already contain the edge. Pass `force_general = true` to
+  /// route Case 2 through the general Case 3 framework (used by tests).
+  SourceUpdateOutcome update_source(const CSRGraph& g, VertexId s,
+                                    std::span<Dist> dist,
+                                    std::span<Sigma> sigma,
+                                    std::span<double> delta,
+                                    std::span<double> bc, VertexId u,
+                                    VertexId v, bool force_general = false);
+
+  /// Decremental counterpart: updates source s's rows and the BC scores for
+  /// the *removal* of edge {u, v}. `g` must no longer contain the edge; the
+  /// rows hold pre-removal state. Because the edge existed, the stored
+  /// levels differ by at most one:
+  ///  - same level      -> Case 1, nothing to do;
+  ///  - adjacent levels -> if u_low keeps another parent, distances are
+  ///    unchanged and the Case 2 machinery runs with *negative* sigma
+  ///    increments (plus the explicit removal of u_low's old contribution
+  ///    to u_high, whose edge the neighbor scans can no longer see);
+  ///  - otherwise u_low's distance grows: the source row is recomputed
+  ///    from scratch (per-source fallback; reported as UpdateCase::kFar
+  ///    with touched = n).
+  SourceUpdateOutcome remove_update_source(const CSRGraph& g, VertexId s,
+                                           std::span<Dist> dist,
+                                           std::span<Sigma> sigma,
+                                           std::span<double> delta,
+                                           std::span<double> bc, VertexId u,
+                                           VertexId v);
+
+  const CpuOpCounters& counters() const { return ops_; }
+  void reset_counters() { ops_ = {}; }
+
+ private:
+  enum class Touch : std::uint8_t { kUntouched = 0, kDown = 1, kUp = 2 };
+
+  void init_scratch(std::span<const Sigma> sigma, bool case3,
+                    std::span<const Dist> dist);
+  void qq_push(Dist level, VertexId v);
+  void clear_qq();
+
+  VertexId case2_update(const CSRGraph& g, VertexId s, std::span<Dist> dist,
+                        std::span<Sigma> sigma, std::span<double> delta,
+                        std::span<double> bc, VertexId u_high, VertexId u_low);
+  VertexId case2_removal(const CSRGraph& g, VertexId s, std::span<Dist> dist,
+                         std::span<Sigma> sigma, std::span<double> delta,
+                         std::span<double> bc, VertexId u_high,
+                         VertexId u_low);
+  VertexId case3_update(const CSRGraph& g, VertexId s, std::span<Dist> dist,
+                        std::span<Sigma> sigma, std::span<double> delta,
+                        std::span<double> bc, VertexId u_high, VertexId u_low);
+
+  VertexId n_;
+  std::vector<Touch> t_;
+  std::vector<Sigma> sigma_hat_;
+  std::vector<double> delta_hat_;
+  std::vector<Dist> d_new_;
+  std::vector<std::uint8_t> moved_;
+  std::vector<std::uint8_t> reset_;
+  std::vector<VertexId> moved_list_;
+  std::vector<VertexId> q_;  // case 2 BFS queue
+  std::vector<std::vector<VertexId>> qq_;
+  Dist qq_min_ = 0;
+  Dist qq_max_ = -1;
+  CpuOpCounters ops_;
+};
+
+}  // namespace bcdyn

@@ -1,0 +1,94 @@
+#include "bc/dynamic_cpu_parallel.hpp"
+
+#include <algorithm>
+
+namespace bcdyn {
+
+DynamicCpuParallelEngine::DynamicCpuParallelEngine(VertexId num_vertices,
+                                                   int num_workers)
+    : pool_(static_cast<std::size_t>(std::max(num_workers, 0))) {
+  const int lanes = std::max(1, num_workers);
+  engines_.reserve(static_cast<std::size_t>(lanes));
+  for (int i = 0; i < lanes; ++i) {
+    engines_.push_back(std::make_unique<DynamicCpuEngine>(num_vertices));
+  }
+  bc_deltas_.resize(static_cast<std::size_t>(lanes));
+  for (auto& d : bc_deltas_) {
+    d.assign(static_cast<std::size_t>(num_vertices), 0.0);
+  }
+}
+
+template <typename PerSource>
+std::vector<SourceUpdateOutcome> DynamicCpuParallelEngine::run(
+    BcStore& store, PerSource&& fn) {
+  const int k = store.num_sources();
+  const auto lanes = engines_.size();
+  std::vector<SourceUpdateOutcome> outcomes(static_cast<std::size_t>(k));
+
+  // Each lane updates a contiguous chunk of sources, accumulating its BC
+  // changes into a private buffer; buffers are folded into the shared
+  // scores afterwards in lane order, keeping results deterministic.
+  const int chunk = static_cast<int>((static_cast<std::size_t>(k) + lanes - 1) / lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const int begin = static_cast<int>(lane) * chunk;
+    const int end = std::min(k, begin + chunk);
+    if (begin >= end) break;
+    std::fill(bc_deltas_[lane].begin(), bc_deltas_[lane].end(), 0.0);
+    pool_.submit([&, lane, begin, end] {
+      for (int si = begin; si < end; ++si) {
+        outcomes[static_cast<std::size_t>(si)] =
+            fn(*engines_[lane], si, std::span<double>(bc_deltas_[lane]));
+      }
+    });
+  }
+  pool_.wait_idle();
+
+  auto bc = store.bc();
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const auto& delta = bc_deltas_[lane];
+    for (std::size_t v = 0; v < bc.size(); ++v) {
+      bc[v] += delta[v];
+    }
+  }
+  return outcomes;
+}
+
+std::vector<SourceUpdateOutcome> DynamicCpuParallelEngine::insert_edge_update(
+    const CSRGraph& g, BcStore& store, VertexId u, VertexId v) {
+  return run(store, [&](DynamicCpuEngine& engine, int si,
+                        std::span<double> bc_delta) {
+    const VertexId s = store.sources()[static_cast<std::size_t>(si)];
+    return engine.update_source(g, s, store.dist_row(si), store.sigma_row(si),
+                                store.delta_row(si), bc_delta, u, v);
+  });
+}
+
+std::vector<SourceUpdateOutcome> DynamicCpuParallelEngine::remove_edge_update(
+    const CSRGraph& g, BcStore& store, VertexId u, VertexId v) {
+  return run(store, [&](DynamicCpuEngine& engine, int si,
+                        std::span<double> bc_delta) {
+    const VertexId s = store.sources()[static_cast<std::size_t>(si)];
+    return engine.remove_update_source(g, s, store.dist_row(si),
+                                       store.sigma_row(si),
+                                       store.delta_row(si), bc_delta, u, v);
+  });
+}
+
+std::vector<CpuOpCounters> DynamicCpuParallelEngine::lane_counters() const {
+  std::vector<CpuOpCounters> out;
+  out.reserve(engines_.size());
+  for (const auto& engine : engines_) {
+    out.push_back(engine->counters());
+  }
+  return out;
+}
+
+CpuOpCounters DynamicCpuParallelEngine::counters() const {
+  CpuOpCounters total;
+  for (const auto& engine : engines_) {
+    total += engine->counters();
+  }
+  return total;
+}
+
+}  // namespace bcdyn

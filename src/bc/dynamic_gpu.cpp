@@ -1,0 +1,833 @@
+#include "bc/dynamic_gpu.hpp"
+
+#include <algorithm>
+
+#include "bc/static_kernels.hpp"
+#include "gpusim/primitives.hpp"
+#include "util/atomic_double.hpp"
+
+namespace bcdyn {
+
+namespace {
+
+using sim::BlockContext;
+
+constexpr std::uint8_t kUntouched = 0;
+constexpr std::uint8_t kDown = 1;
+constexpr std::uint8_t kUp = 2;
+
+/// Per-source read-only/updated rows bundled to keep kernel signatures sane.
+struct Rows {
+  std::span<Dist> d;
+  std::span<Sigma> sigma;
+  std::span<double> delta;
+};
+
+/// Algorithm 3: parallel initialization of the block-local update state.
+/// `case3` additionally snapshots distances and clears the moved/reset maps.
+/// `sign` is +1 for insertions (u_low gains u_high's paths) and -1 for
+/// removals (it loses them).
+void init_kernel(BlockContext& ctx, GpuWorkspace& ws, const Rows& rows,
+                 VertexId u_high, VertexId u_low, bool case3,
+                 double sign = 1.0) {
+  const std::size_t n = rows.sigma.size();
+  ctx.parallel_for(n, [&](std::size_t v) {
+    ctx.charge_instr(1);
+    if (v == static_cast<std::size_t>(u_low) && !case3) {
+      ctx.charge_read(2);
+      ctx.charge_write(3);
+      ws.t[v] = kDown;
+      ws.sigma_hat[v] =
+          rows.sigma[v] + sign * rows.sigma[static_cast<std::size_t>(u_high)];
+    } else {
+      ctx.charge_read(1);
+      ctx.charge_write(3);
+      ws.t[v] = kUntouched;
+      ws.sigma_hat[v] = rows.sigma[v];
+    }
+    ws.delta_hat[v] = 0.0;
+    if (case3) {
+      ctx.charge_read(1);
+      ctx.charge_write(3);
+      ws.d_new[v] = rows.d[v];
+      ws.moved[v] = 0;
+      ws.reset[v] = 0;
+    }
+  });
+}
+
+/// Algorithm 8: atomically fold BC deltas into the shared scores and copy
+/// the hatted values back into the per-source rows. Returns |touched|.
+VertexId finalize_kernel(BlockContext& ctx, GpuWorkspace& ws,
+                         const Rows& rows, std::span<double> bc, VertexId s,
+                         bool case3) {
+  const std::size_t n = rows.sigma.size();
+  VertexId touched = 0;
+  ctx.parallel_for(n, [&](std::size_t v) {
+    ctx.charge_instr(2);
+    ctx.charge_read(2);
+    ctx.charge_write(1);
+    rows.sigma[v] = ws.sigma_hat[v];
+    if (case3) {
+      ctx.charge_read(1);
+      ctx.charge_write(1);
+      rows.d[v] = ws.d_new[v];
+    }
+    if (ws.t[v] == kUntouched) return;
+    ++touched;
+    if (v != static_cast<std::size_t>(s)) {
+      ctx.charge_read(2);
+      ctx.charge_atomic(BlockContext::make_key(4, v));
+      util::atomic_add(bc, v, ws.delta_hat[v] - rows.delta[v]);
+    }
+    ctx.charge_read(1);
+    ctx.charge_write(1);
+    rows.delta[v] = ws.delta_hat[v];
+  });
+  return touched;
+}
+
+void removal_prepass(BlockContext& ctx, GpuWorkspace& ws, const Rows& rows,
+                     VertexId u_high, VertexId u_low, bool node_mode);
+
+// ---------------------------------------------------------------------------
+// Case 2, edge-parallel (Algorithms 4 and 6). With `removal`, the same
+// level-synchronous machinery runs with negative sigma increments seeded by
+// the init kernel, plus the decremental pre-pass for u_high.
+// ---------------------------------------------------------------------------
+
+void edge_case2(BlockContext& ctx, const CSRGraph& g, VertexId s,
+                const Rows& rows, GpuWorkspace& ws, VertexId u_high,
+                VertexId u_low, bool removal = false) {
+  const auto src = g.arc_src();
+  const auto dst = g.arc_dst();
+  const auto num_arcs = static_cast<std::size_t>(g.num_arcs());
+  const auto d = rows.d;
+
+  // Algorithm 4: level-synchronous sigma-hat propagation; every level scans
+  // the entire arc list. Note this touches whole BFS levels below u_low
+  // (any w one level below a current-depth v), which is exactly the futile
+  // work the paper attributes to the edge-parallel mapping.
+  Dist depth = d[static_cast<std::size_t>(u_low)];
+  Dist last_touch_depth = depth;
+  bool done = false;
+  while (!done) {
+    done = true;
+    ctx.parallel_for(num_arcs, [&](std::size_t a) {
+      ctx.charge_instr(2);
+      ctx.charge_read(3);  // arc + d[v]
+      const auto v = static_cast<std::size_t>(src[a]);
+      const auto w = static_cast<std::size_t>(dst[a]);
+      if (d[v] != depth) return;
+      ctx.charge_read(1);
+      if (d[w] != depth + 1) return;
+      ctx.charge_read(1);
+      if (ws.t[w] == kUntouched) {
+        ws.t[w] = kDown;  // benign race on hardware (paper §III.A)
+        ctx.charge_write(1);
+        done = false;
+      }
+      ctx.charge_read(2);
+      ctx.charge_atomic(BlockContext::make_key(1, w));
+      ws.sigma_hat[w] += ws.sigma_hat[v] - rows.sigma[v];
+    });
+    if (!done) last_touch_depth = depth + 1;
+    ++depth;
+  }
+  (void)s;
+  if (removal) removal_prepass(ctx, ws, rows, u_high, u_low, false);
+
+  // Algorithm 6 (with the Brandes roles made explicit: arc (c, p) with c at
+  // `dep` contributing to its predecessor p at dep-1).
+  for (Dist dep = last_touch_depth; dep >= 1; --dep) {
+    ctx.parallel_for(num_arcs, [&](std::size_t a) {
+      ctx.charge_instr(2);
+      ctx.charge_read(3);
+      const auto c = static_cast<std::size_t>(src[a]);
+      const auto p = static_cast<std::size_t>(dst[a]);
+      if (d[c] != dep) return;
+      ctx.charge_read(1);
+      if (d[p] != dep - 1) return;
+      ctx.charge_read(1);
+      if (ws.t[c] == kUntouched) return;  // c's contribution is unchanged
+      double dsv = 0.0;
+      ctx.charge_read(1);
+      ctx.charge_atomic(BlockContext::make_key(3, p));  // atomicCAS on t[p]
+      if (ws.t[p] == kUntouched) {
+        ws.t[p] = kUp;
+        ctx.charge_read(1);
+        dsv += rows.delta[p];
+      }
+      ctx.charge_read(4);
+      dsv += ws.sigma_hat[p] / ws.sigma_hat[c] * (1.0 + ws.delta_hat[c]);
+      if (ws.t[p] == kUp &&
+          !(p == static_cast<std::size_t>(u_high) &&
+            c == static_cast<std::size_t>(u_low))) {
+        ctx.charge_read(3);
+        dsv -= rows.sigma[p] / rows.sigma[c] * (1.0 + rows.delta[c]);
+      }
+      ctx.charge_atomic(BlockContext::make_key(2, p));
+      ws.delta_hat[p] += dsv;
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Case 2, node-parallel (Algorithms 5 and 7).
+// ---------------------------------------------------------------------------
+
+void node_case2(BlockContext& ctx, const CSRGraph& g, VertexId s,
+                const Rows& rows, GpuWorkspace& ws, VertexId u_high,
+                VertexId u_low, bool removal = false) {
+  const auto d = rows.d;
+  ws.q.clear();
+  ws.q2.clear();
+  ws.qq.clear();
+  ws.q.push_back(u_low);
+  ws.qq.push_back(u_low);
+
+  // Algorithm 5: frontier BFS with duplicate removal. (In the simulator a
+  // block executes sequentially, so the first visiting parent wins the
+  // touch test and Q2 is duplicate-free; the remove_duplicates pipeline is
+  // still executed and charged because the algorithm cannot know that.)
+  while (!ws.q.empty()) {
+    ws.q2.clear();
+    ctx.parallel_for(ws.q.size(), [&](std::size_t i) {
+      const auto v = static_cast<std::size_t>(ws.q[i]);
+      ctx.charge_read(4);  // queue entry, row offset, sigma_hat[v], sigma[v]
+      const Dist dv = d[v];
+      const Sigma inc = ws.sigma_hat[v] - rows.sigma[v];
+      for (VertexId wv : g.neighbors(static_cast<VertexId>(v))) {
+        const auto w = static_cast<std::size_t>(wv);
+        ctx.charge_instr(2);
+        ctx.charge_read(2);  // adjacency entry + d[w]
+        if (d[w] != dv + 1) continue;
+        ctx.charge_read(1);
+        if (ws.t[w] == kUntouched) {
+          ws.t[w] = kDown;
+          ctx.charge_write(1);
+          ctx.charge_atomic_aggregated();  // Q2 tail counter (Algorithm 5 line 15)
+          ctx.charge_write(1);
+          ws.q2.push_back(wv);
+        }
+        ctx.charge_atomic(BlockContext::make_key(1, w));
+        ws.sigma_hat[w] += inc;
+      }
+    });
+    if (ws.q2.empty()) break;
+    const std::size_t unique =
+        sim::block_remove_duplicates(ctx, ws.q2, ws.q2.size(), ws.scratch,
+                                     ws.flags);
+    ws.q.assign(ws.q2.begin(), ws.q2.begin() + static_cast<std::ptrdiff_t>(unique));
+    // Transfer to Q and append to QQ (Algorithm 5 lines 25-28).
+    ctx.parallel_for(unique, [&](std::size_t i) {
+      ctx.charge_read(1);
+      ctx.charge_write(1);
+      ctx.charge_atomic_aggregated();  // QQ tail counter
+      ctx.charge_write(1);
+      ws.qq.push_back(ws.q[i]);
+    });
+  }
+
+  if (removal) removal_prepass(ctx, ws, rows, u_high, u_low, true);
+
+  // Starting depth for the dependency stage: deepest touched level
+  // (Algorithm 5 lines 30-31, restricted to processed vertices).
+  Dist max_depth = 0;
+  {
+    ws.scratch.resize(std::max(ws.scratch.size(), ws.qq.size()));
+    std::vector<Dist> levels(ws.qq.size());
+    for (std::size_t i = 0; i < ws.qq.size(); ++i) {
+      levels[i] = d[static_cast<std::size_t>(ws.qq[i])];
+    }
+    max_depth = sim::block_reduce_max(ctx, levels, levels.size(), 0);
+  }
+
+  // Algorithm 7: level-filtered sweep over the flat multi-level queue.
+  for (Dist dep = max_depth; dep >= 1; --dep) {
+    const std::size_t qq_len = ws.qq.size();  // appends go to dep-1
+    ctx.parallel_for(qq_len, [&](std::size_t i) {
+      const auto w = static_cast<std::size_t>(ws.qq[i]);
+      ctx.charge_read(2);  // queue entry + d[w]
+      if (d[w] != dep) return;
+      ctx.charge_read(3);
+      const double coeff_new =
+          (1.0 + ws.delta_hat[w]) / ws.sigma_hat[w];
+      const double coeff_old = (1.0 + rows.delta[w]) / rows.sigma[w];
+      for (VertexId xv : g.neighbors(static_cast<VertexId>(w))) {
+        const auto x = static_cast<std::size_t>(xv);
+        ctx.charge_instr(2);
+        ctx.charge_read(2);
+        if (d[x] + 1 != d[w]) continue;
+        double dsv = 0.0;
+        ctx.charge_atomic(BlockContext::make_key(3, x));  // atomicCAS on t[x] (Algorithm 7 line 9)
+        if (ws.t[x] == kUntouched) {
+          ws.t[x] = kUp;
+          ctx.charge_read(1);
+          dsv += rows.delta[x];
+          ctx.charge_atomic_aggregated();  // QQ tail counter
+          ctx.charge_write(1);
+          ws.qq.push_back(xv);
+        }
+        ctx.charge_read(2);
+        dsv += ws.sigma_hat[x] * coeff_new;
+        if (ws.t[x] == kUp &&
+            !(x == static_cast<std::size_t>(u_high) &&
+              w == static_cast<std::size_t>(u_low))) {
+          ctx.charge_read(1);
+          dsv -= rows.sigma[x] * coeff_old;
+        }
+        ctx.charge_atomic(BlockContext::make_key(2, x));
+        ws.delta_hat[x] += dsv;
+      }
+    });
+  }
+  (void)s;
+}
+
+// ---------------------------------------------------------------------------
+// Case 3, node-parallel (generalized repair; DESIGN.md §7).
+// ---------------------------------------------------------------------------
+
+void node_case3(BlockContext& ctx, const CSRGraph& g, VertexId s,
+                const Rows& rows, GpuWorkspace& ws, VertexId u_high,
+                VertexId u_low) {
+  const auto d = rows.d;
+  const auto lo = static_cast<std::size_t>(u_low);
+  ws.q.clear();
+  ws.q2.clear();
+  ws.qq.clear();
+  ws.moved_list.clear();
+
+  const Dist level0 = d[static_cast<std::size_t>(u_high)] + 1;
+  ws.d_new[lo] = level0;
+  ws.t[lo] = kDown;
+  ws.moved[lo] = 1;
+  ws.moved_list.push_back(u_low);
+  ws.q.push_back(u_low);
+  ws.qq.push_back(u_low);
+
+  // Phase A: ascending levels; two sub-kernels per level.
+  Dist level = level0;
+  while (!ws.q.empty()) {
+    // A1: recompute sigma-hat of frontier vertices from their new parents
+    // (single writer per vertex: no atomics needed). Also classifies
+    // RESET = moved or sigma changed.
+    ctx.parallel_for(ws.q.size(), [&](std::size_t i) {
+      const auto w = static_cast<std::size_t>(ws.q[i]);
+      ctx.charge_read(2);
+      Sigma sum = 0.0;
+      for (VertexId xv : g.neighbors(static_cast<VertexId>(w))) {
+        const auto x = static_cast<std::size_t>(xv);
+        ctx.charge_instr(2);
+        ctx.charge_read(2);
+        if (ws.d_new[x] == level - 1) {
+          ctx.charge_read(1);
+          sum += ws.sigma_hat[x];
+        }
+      }
+      ws.sigma_hat[w] = sum;
+      ctx.charge_read(2);
+      ctx.charge_write(2);
+      ws.reset[w] = (ws.moved[w] != 0 || sum != rows.sigma[w]) ? 1 : 0;
+    });
+
+    // A2: changed vertices pull far neighbors closer and mark same-level+1
+    // neighbors for sigma recomputation.
+    ws.q2.clear();
+    ctx.parallel_for(ws.q.size(), [&](std::size_t i) {
+      const auto w = static_cast<std::size_t>(ws.q[i]);
+      ctx.charge_read(2);
+      if (ws.reset[w] == 0) return;
+      for (VertexId xv : g.neighbors(static_cast<VertexId>(w))) {
+        const auto x = static_cast<std::size_t>(xv);
+        ctx.charge_instr(2);
+        ctx.charge_read(2);
+        const Dist dx = ws.d_new[x];
+        if (dx > level + 1) {
+          ctx.charge_write(3);
+          ctx.charge_atomic_aggregated();  // moved-list tail counter
+          ctx.charge_write(1);
+          ws.d_new[x] = level + 1;
+          ws.t[x] = kDown;
+          ws.moved[x] = 1;
+          ws.moved_list.push_back(xv);
+          ctx.charge_atomic_aggregated();  // Q2 tail counter
+          ctx.charge_write(1);
+          ws.q2.push_back(xv);
+        } else if (dx == level + 1 && ws.t[x] == kUntouched) {
+          ctx.charge_read(1);
+          ctx.charge_write(1);
+          ws.t[x] = kDown;
+          ctx.charge_atomic_aggregated();
+          ctx.charge_write(1);
+          ws.q2.push_back(xv);
+        }
+      }
+    });
+    if (ws.q2.empty()) break;
+    const std::size_t unique = sim::block_remove_duplicates(
+        ctx, ws.q2, ws.q2.size(), ws.scratch, ws.flags);
+    ws.q.assign(ws.q2.begin(),
+                ws.q2.begin() + static_cast<std::ptrdiff_t>(unique));
+    ctx.parallel_for(unique, [&](std::size_t i) {
+      ctx.charge_read(1);
+      ctx.charge_atomic_aggregated();
+      ctx.charge_write(2);
+      ws.qq.push_back(ws.q[i]);
+    });
+    ++level;
+  }
+
+  // CARRY vertices (touched, but distance and sigma unchanged) keep their
+  // old dependency as the base for differential corrections.
+  ctx.parallel_for(ws.qq.size(), [&](std::size_t i) {
+    const auto w = static_cast<std::size_t>(ws.qq[i]);
+    ctx.charge_read(2);
+    if (ws.reset[w] == 0) {
+      ctx.charge_read(1);
+      ctx.charge_write(1);
+      ws.delta_hat[w] = rows.delta[w];
+    }
+  });
+
+  // Phase B pre-pass: moved vertices abandoned old parents; subtract their
+  // stale contribution from CARRY parents that are no longer parents.
+  const std::size_t num_moved = ws.moved_list.size();
+  ctx.parallel_for(num_moved, [&](std::size_t i) {
+    const auto w = static_cast<std::size_t>(ws.moved_list[i]);
+    ctx.charge_read(2);
+    const Dist dw_old = d[w];
+    if (dw_old == kInfDist) return;  // previously unreachable: no parents
+    ctx.charge_read(2);
+    const double coeff_old = (1.0 + rows.delta[w]) / rows.sigma[w];
+    for (VertexId xv : g.neighbors(static_cast<VertexId>(w))) {
+      const auto x = static_cast<std::size_t>(xv);
+      ctx.charge_instr(3);
+      ctx.charge_read(3);
+      if (d[x] + 1 != dw_old) continue;            // not an old parent
+      if (ws.d_new[x] + 1 == ws.d_new[w]) continue;  // still a parent
+      ctx.charge_atomic(BlockContext::make_key(3, x));  // CAS on t[x]
+      if (ws.t[x] == kUntouched) {
+        ws.t[x] = kUp;
+        ctx.charge_read(1);
+        ctx.charge_write(1);
+        ws.delta_hat[x] = rows.delta[x];
+        ctx.charge_atomic_aggregated();
+        ctx.charge_write(1);
+        ws.qq.push_back(xv);
+      }
+      ctx.charge_read(1);
+      if (ws.reset[x] == 0) {
+        ctx.charge_read(1);
+        ctx.charge_atomic(BlockContext::make_key(2, x));
+        ws.delta_hat[x] -= rows.sigma[x] * coeff_old;
+      }
+    }
+  });
+
+  // Phase B: descending dependency repair over the multi-level queue.
+  Dist max_depth = 0;
+  {
+    std::vector<Dist> levels(ws.qq.size());
+    for (std::size_t i = 0; i < ws.qq.size(); ++i) {
+      levels[i] = ws.d_new[static_cast<std::size_t>(ws.qq[i])];
+    }
+    max_depth = sim::block_reduce_max(ctx, levels, levels.size(), 0);
+  }
+  for (Dist dep = max_depth; dep >= 1; --dep) {
+    const std::size_t qq_len = ws.qq.size();
+    ctx.parallel_for(qq_len, [&](std::size_t i) {
+      const auto w = static_cast<std::size_t>(ws.qq[i]);
+      ctx.charge_read(2);
+      if (ws.d_new[w] != dep) return;
+      ctx.charge_read(4);
+      const double coeff_new = (1.0 + ws.delta_hat[w]) / ws.sigma_hat[w];
+      const bool w_had_old = d[w] != kInfDist;
+      const double coeff_old =
+          w_had_old ? (1.0 + rows.delta[w]) / rows.sigma[w] : 0.0;
+      for (VertexId xv : g.neighbors(static_cast<VertexId>(w))) {
+        const auto x = static_cast<std::size_t>(xv);
+        ctx.charge_instr(2);
+        ctx.charge_read(2);
+        if (ws.d_new[x] + 1 != ws.d_new[w]) continue;
+        ctx.charge_atomic(BlockContext::make_key(3, x));  // CAS on t[x]
+        double dsv = 0.0;
+        if (ws.t[x] == kUntouched) {
+          ws.t[x] = kUp;
+          ctx.charge_read(1);
+          dsv += rows.delta[x];
+          ctx.charge_atomic_aggregated();
+          ctx.charge_write(1);
+          ws.qq.push_back(xv);
+        }
+        ctx.charge_read(2);
+        dsv += ws.sigma_hat[x] * coeff_new;
+        ctx.charge_read(2);
+        if (ws.reset[x] == 0 && w_had_old && d[x] + 1 == d[w] &&
+            !(x == static_cast<std::size_t>(u_high) && w == lo)) {
+          ctx.charge_read(1);
+          dsv -= rows.sigma[x] * coeff_old;
+        }
+        ctx.charge_atomic(BlockContext::make_key(2, x));
+        ws.delta_hat[x] += dsv;
+      }
+    });
+  }
+  (void)s;
+}
+
+// ---------------------------------------------------------------------------
+// Case 3, edge-parallel.
+// ---------------------------------------------------------------------------
+
+void edge_case3(BlockContext& ctx, const CSRGraph& g, VertexId s,
+                const Rows& rows, GpuWorkspace& ws, VertexId u_high,
+                VertexId u_low) {
+  const auto src = g.arc_src();
+  const auto dst = g.arc_dst();
+  const auto num_arcs = static_cast<std::size_t>(g.num_arcs());
+  const std::size_t n = rows.sigma.size();
+  const auto d = rows.d;
+  const auto lo = static_cast<std::size_t>(u_low);
+  ws.moved_list.clear();
+
+  const Dist level0 = d[static_cast<std::size_t>(u_high)] + 1;
+  ws.d_new[lo] = level0;
+  ws.t[lo] = kDown;
+  ws.moved[lo] = 1;
+  ws.moved_list.push_back(u_low);
+
+  Dist level = level0;
+  Dist max_depth = level0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // E1: zero sigma-hat of touched vertices at this level.
+    ctx.parallel_for(n, [&](std::size_t v) {
+      ctx.charge_instr(1);
+      ctx.charge_read(2);
+      if (ws.t[v] != kUntouched && ws.d_new[v] == level) {
+        ctx.charge_write(1);
+        ws.sigma_hat[v] = 0.0;
+      }
+    });
+    // E2: accumulate sigma from parents over the whole arc list.
+    ctx.parallel_for(num_arcs, [&](std::size_t a) {
+      ctx.charge_instr(2);
+      ctx.charge_read(4);
+      const auto x = static_cast<std::size_t>(src[a]);
+      const auto w = static_cast<std::size_t>(dst[a]);
+      if (ws.t[w] == kUntouched || ws.d_new[w] != level) return;
+      if (ws.d_new[x] != level - 1) return;
+      ctx.charge_read(1);
+      ctx.charge_atomic(BlockContext::make_key(1, w));
+      ws.sigma_hat[w] += ws.sigma_hat[x];
+    });
+    // E3a: classify RESET at this level.
+    ctx.parallel_for(n, [&](std::size_t v) {
+      ctx.charge_instr(1);
+      ctx.charge_read(2);
+      if (ws.t[v] == kUntouched || ws.d_new[v] != level) return;
+      ctx.charge_read(3);
+      ctx.charge_write(1);
+      ws.reset[v] =
+          (ws.moved[v] != 0 || ws.sigma_hat[v] != rows.sigma[v]) ? 1 : 0;
+    });
+    // E3b: changed vertices pull/mark neighbors at level+1.
+    ctx.parallel_for(num_arcs, [&](std::size_t a) {
+      ctx.charge_instr(2);
+      ctx.charge_read(4);
+      const auto w = static_cast<std::size_t>(src[a]);
+      const auto x = static_cast<std::size_t>(dst[a]);
+      if (ws.t[w] == kUntouched || ws.d_new[w] != level) return;
+      ctx.charge_read(1);
+      if (ws.reset[w] == 0) return;
+      ctx.charge_read(1);
+      const Dist dx = ws.d_new[x];
+      if (dx > level + 1) {
+        ctx.charge_write(3);
+        ctx.charge_atomic_aggregated();
+        ctx.charge_write(1);
+        ws.d_new[x] = level + 1;
+        ws.t[x] = kDown;
+        ws.moved[x] = 1;
+        ws.moved_list.push_back(dst[a]);
+        progress = true;
+      } else if (dx == level + 1 && ws.t[x] == kUntouched) {
+        ctx.charge_write(1);
+        ws.t[x] = kDown;
+        progress = true;
+      }
+    });
+    if (progress) max_depth = level + 1;
+    ++level;
+  }
+
+  // CARRY bases for phase-A touched vertices.
+  ctx.parallel_for(n, [&](std::size_t v) {
+    ctx.charge_instr(1);
+    ctx.charge_read(2);
+    if (ws.t[v] == kDown && ws.reset[v] == 0) {
+      ctx.charge_read(1);
+      ctx.charge_write(1);
+      ws.delta_hat[v] = rows.delta[v];
+    }
+  });
+
+  // Pre-pass over arcs: (w moved, x old-parent no longer parent).
+  ctx.parallel_for(num_arcs, [&](std::size_t a) {
+    ctx.charge_instr(3);
+    ctx.charge_read(3);
+    const auto w = static_cast<std::size_t>(src[a]);
+    const auto x = static_cast<std::size_t>(dst[a]);
+    if (ws.moved[w] == 0) return;
+    ctx.charge_read(2);
+    const Dist dw_old = d[w];
+    if (dw_old == kInfDist) return;
+    if (d[x] + 1 != dw_old) return;
+    ctx.charge_read(2);
+    if (ws.d_new[x] + 1 == ws.d_new[w]) return;
+    ctx.charge_atomic(BlockContext::make_key(3, x));
+    double dsv = 0.0;
+    if (ws.t[x] == kUntouched) {
+      ws.t[x] = kUp;
+      ctx.charge_read(1);
+      dsv += rows.delta[x];
+    }
+    ctx.charge_read(1);
+    if (ws.reset[x] == 0) {
+      ctx.charge_read(3);
+      dsv -= rows.sigma[x] / rows.sigma[w] * (1.0 + rows.delta[w]);
+    }
+    if (dsv != 0.0) {
+      ctx.charge_atomic(BlockContext::make_key(2, x));
+      ws.delta_hat[x] += dsv;
+    }
+    // Track the deepest level an up-marked parent lives at.
+    if (ws.d_new[x] > max_depth) max_depth = ws.d_new[x];
+  });
+
+  // Descending dependency repair over the whole arc list per level.
+  for (Dist dep = max_depth; dep >= 1; --dep) {
+    ctx.parallel_for(num_arcs, [&](std::size_t a) {
+      ctx.charge_instr(2);
+      ctx.charge_read(3);
+      const auto c = static_cast<std::size_t>(src[a]);
+      const auto p = static_cast<std::size_t>(dst[a]);
+      if (ws.d_new[c] != dep) return;
+      ctx.charge_read(1);
+      if (ws.t[c] == kUntouched) return;
+      ctx.charge_read(1);
+      if (ws.d_new[p] + 1 != ws.d_new[c]) return;
+      ctx.charge_atomic(BlockContext::make_key(3, p));
+      double dsv = 0.0;
+      if (ws.t[p] == kUntouched) {
+        ws.t[p] = kUp;
+        ctx.charge_read(1);
+        dsv += rows.delta[p];
+      }
+      ctx.charge_read(4);
+      dsv += ws.sigma_hat[p] / ws.sigma_hat[c] * (1.0 + ws.delta_hat[c]);
+      const bool c_had_old = d[c] != kInfDist;
+      ctx.charge_read(3);
+      if (ws.reset[p] == 0 && c_had_old && d[p] + 1 == d[c] &&
+          !(p == static_cast<std::size_t>(u_high) && c == lo)) {
+        ctx.charge_read(3);
+        dsv -= rows.sigma[p] / rows.sigma[c] * (1.0 + rows.delta[c]);
+      }
+      ctx.charge_atomic(BlockContext::make_key(2, p));
+      ws.delta_hat[p] += dsv;
+    });
+  }
+  (void)s;
+}
+
+/// Decremental pre-pass shared by both mappings: u_high lost u_low as a
+/// child and the removed edge is invisible to the neighbor scans, so its
+/// stale contribution is subtracted explicitly, with u_high brushed "up".
+void removal_prepass(BlockContext& ctx, GpuWorkspace& ws, const Rows& rows,
+                     VertexId u_high, VertexId u_low, bool node_mode) {
+  const auto hi = static_cast<std::size_t>(u_high);
+  const auto lo = static_cast<std::size_t>(u_low);
+  ctx.charge_atomic(BlockContext::make_key(3, hi));  // CAS on t[u_high]
+  if (ws.t[hi] == kUntouched) {
+    ws.t[hi] = kUp;
+    ctx.charge_read(1);
+    ctx.charge_write(1);
+    ws.delta_hat[hi] = rows.delta[hi];
+    if (node_mode) {
+      ctx.charge_atomic_aggregated();  // QQ tail counter
+      ctx.charge_write(1);
+      ws.qq.push_back(u_high);
+    }
+  }
+  ctx.charge_read(4);
+  ctx.charge_atomic(BlockContext::make_key(2, hi));
+  ws.delta_hat[hi] -=
+      rows.sigma[hi] / rows.sigma[lo] * (1.0 + rows.delta[lo]);
+}
+
+}  // namespace
+
+void GpuWorkspace::ensure(VertexId n) {
+  const auto size = static_cast<std::size_t>(n);
+  if (t.size() >= size) return;
+  t.assign(size, 0);
+  moved.assign(size, 0);
+  reset.assign(size, 0);
+  sigma_hat.assign(size, 0.0);
+  delta_hat.assign(size, 0.0);
+  d_new.assign(size, kInfDist);
+}
+
+DynamicGpuBc::DynamicGpuBc(sim::DeviceSpec spec, Parallelism mode,
+                           sim::CostModel cost, int host_workers,
+                           bool track_atomic_conflicts)
+    : device_(std::move(spec), cost, host_workers, track_atomic_conflicts),
+      mode_(mode) {
+  workspaces_.resize(static_cast<std::size_t>(device_.spec().num_sms));
+}
+
+GpuUpdateResult DynamicGpuBc::insert_edge_update(const CSRGraph& g,
+                                                 BcStore& store, VertexId u,
+                                                 VertexId v) {
+  const int num_blocks = device_.spec().num_sms;
+  const int k = store.num_sources();
+  GpuUpdateResult result;
+  result.outcomes.resize(static_cast<std::size_t>(k));
+  for (auto& ws : workspaces_) ws.ensure(g.num_vertices());
+  const Parallelism mode = mode_;
+  auto& workspaces = workspaces_;
+  auto& outcomes = result.outcomes;
+
+  result.stats = device_.launch(num_blocks, [&, mode, num_blocks, u,
+                                             v](BlockContext& ctx) {
+    GpuWorkspace& ws = workspaces[static_cast<std::size_t>(ctx.block_id())];
+    for (int si = ctx.block_id(); si < k; si += num_blocks) {
+      const VertexId s = store.sources()[static_cast<std::size_t>(si)];
+      Rows rows{store.dist_row(si), store.sigma_row(si), store.delta_row(si)};
+      ctx.charge_read(2);
+      ctx.charge_instr(4);
+      const CaseInfo info = classify_insertion(rows.d, u, v);
+      auto& outcome = outcomes[static_cast<std::size_t>(si)];
+      outcome.update_case = info.update_case;
+      if (info.update_case == UpdateCase::kNoWork) {
+        outcome.touched = 0;
+        continue;
+      }
+      const bool case3 = info.update_case == UpdateCase::kFar;
+      init_kernel(ctx, ws, rows, info.u_high, info.u_low, case3);
+      if (!case3) {
+        if (mode == Parallelism::kEdge) {
+          edge_case2(ctx, g, s, rows, ws, info.u_high, info.u_low);
+        } else {
+          node_case2(ctx, g, s, rows, ws, info.u_high, info.u_low);
+        }
+      } else {
+        if (mode == Parallelism::kEdge) {
+          edge_case3(ctx, g, s, rows, ws, info.u_high, info.u_low);
+        } else {
+          node_case3(ctx, g, s, rows, ws, info.u_high, info.u_low);
+        }
+      }
+      outcome.touched =
+          finalize_kernel(ctx, ws, rows, store.bc(), s, case3);
+    }
+  });
+  return result;
+}
+
+GpuUpdateResult DynamicGpuBc::remove_edge_update(const CSRGraph& g,
+                                                 BcStore& store, VertexId u,
+                                                 VertexId v) {
+  const int num_blocks = device_.spec().num_sms;
+  const int k = store.num_sources();
+  GpuUpdateResult result;
+  result.outcomes.resize(static_cast<std::size_t>(k));
+  for (auto& ws : workspaces_) ws.ensure(g.num_vertices());
+  const Parallelism mode = mode_;
+  auto& workspaces = workspaces_;
+  auto& outcomes = result.outcomes;
+
+  result.stats = device_.launch(num_blocks, [&, mode, num_blocks, u,
+                                             v](BlockContext& ctx) {
+    GpuWorkspace& ws = workspaces[static_cast<std::size_t>(ctx.block_id())];
+    std::vector<VertexId> order;
+    std::vector<std::size_t> level_offsets;
+    for (int si = ctx.block_id(); si < k; si += num_blocks) {
+      const VertexId s = store.sources()[static_cast<std::size_t>(si)];
+      Rows rows{store.dist_row(si), store.sigma_row(si), store.delta_row(si)};
+      auto& outcome = outcomes[static_cast<std::size_t>(si)];
+      ctx.charge_read(2);
+      ctx.charge_instr(4);
+      const Dist du = rows.d[static_cast<std::size_t>(u)];
+      const Dist dv = rows.d[static_cast<std::size_t>(v)];
+      if (du == dv) {
+        // The edge was never on a shortest path from this source.
+        outcome.update_case = UpdateCase::kNoWork;
+        outcome.touched = 0;
+        continue;
+      }
+      const VertexId u_high = du < dv ? u : v;
+      const VertexId u_low = du < dv ? v : u;
+      const auto lo = static_cast<std::size_t>(u_low);
+
+      // Does u_low keep another parent in the post-removal graph?
+      bool has_other_parent = false;
+      ctx.charge_read(1);
+      for (VertexId x : g.neighbors(u_low)) {
+        ctx.charge_read(2);
+        ctx.charge_instr(1);
+        if (rows.d[static_cast<std::size_t>(x)] + 1 == rows.d[lo]) {
+          has_other_parent = true;
+          break;
+        }
+      }
+
+      if (has_other_parent) {
+        outcome.update_case = UpdateCase::kAdjacent;
+        init_kernel(ctx, ws, rows, u_high, u_low, /*case3=*/false,
+                    /*sign=*/-1.0);
+        if (mode == Parallelism::kEdge) {
+          edge_case2(ctx, g, s, rows, ws, u_high, u_low, /*removal=*/true);
+        } else {
+          node_case2(ctx, g, s, rows, ws, u_high, u_low, /*removal=*/true);
+        }
+        outcome.touched =
+            finalize_kernel(ctx, ws, rows, store.bc(), s, /*case3=*/false);
+        continue;
+      }
+
+      // Distance-growing removal: recompute this source's row on the device
+      // and fold the dependency differences into BC.
+      outcome.update_case = UpdateCase::kFar;
+      outcome.touched = g.num_vertices();
+      const std::size_t n = rows.delta.size();
+      ctx.parallel_for(n, [&](std::size_t w) {
+        ctx.charge_read(1);
+        ctx.charge_write(1);
+        ws.delta_hat[w] = rows.delta[w];  // save old dependencies
+      });
+      if (mode == Parallelism::kEdge) {
+        detail::static_source_edge(ctx, g, s, rows.d, rows.sigma, rows.delta,
+                                   {});
+      } else {
+        detail::static_source_node(ctx, g, s, rows.d, rows.sigma, rows.delta,
+                                   {}, order, level_offsets);
+      }
+      ctx.parallel_for(n, [&](std::size_t w) {
+        ctx.charge_instr(2);
+        ctx.charge_read(2);
+        if (w == static_cast<std::size_t>(s)) return;
+        if (rows.delta[w] != ws.delta_hat[w]) {
+          ctx.charge_atomic(BlockContext::make_key(4, w));
+          util::atomic_add(store.bc(), w, rows.delta[w] - ws.delta_hat[w]);
+        }
+      });
+    }
+  });
+  return result;
+}
+
+}  // namespace bcdyn

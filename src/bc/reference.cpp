@@ -1,0 +1,77 @@
+#include "bc/reference.hpp"
+
+#include "graph/bfs.hpp"
+
+namespace bcdyn {
+
+namespace {
+
+struct AllPairs {
+  std::vector<std::vector<Dist>> dist;
+  std::vector<std::vector<Sigma>> sigma;
+
+  explicit AllPairs(const CSRGraph& g) {
+    const auto n = static_cast<std::size_t>(g.num_vertices());
+    dist.resize(n);
+    sigma.resize(n);
+    for (VertexId s = 0; s < g.num_vertices(); ++s) {
+      BfsResult r = bfs(g, s);
+      dist[static_cast<std::size_t>(s)] = std::move(r.dist);
+      sigma[static_cast<std::size_t>(s)] = std::move(r.sigma);
+    }
+  }
+};
+
+void accumulate_source(const CSRGraph& g, const AllPairs& ap, VertexId s,
+                       std::span<double> bc) {
+  const VertexId n = g.num_vertices();
+  const auto& ds = ap.dist[static_cast<std::size_t>(s)];
+  const auto& ss = ap.sigma[static_cast<std::size_t>(s)];
+  for (VertexId v = 0; v < n; ++v) {
+    if (v == s) continue;
+    const auto vi = static_cast<std::size_t>(v);
+    if (ds[vi] == kInfDist) continue;
+    const auto& dv = ap.dist[vi];
+    const auto& sv = ap.sigma[vi];
+    double acc = 0.0;
+    for (VertexId t = 0; t < n; ++t) {
+      if (t == s || t == v) continue;
+      const auto ti = static_cast<std::size_t>(t);
+      if (ds[ti] == kInfDist || dv[ti] == kInfDist) continue;
+      if (ds[vi] + dv[ti] == ds[ti]) {
+        acc += ss[vi] * sv[ti] / ss[ti];
+      }
+    }
+    bc[vi] += acc;
+  }
+}
+
+}  // namespace
+
+std::vector<double> reference_betweenness(const CSRGraph& g) {
+  AllPairs ap(g);
+  std::vector<double> bc(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    accumulate_source(g, ap, s, bc);
+  }
+  return bc;
+}
+
+std::vector<double> reference_betweenness(const CSRGraph& g,
+                                          std::span<const VertexId> sources) {
+  AllPairs ap(g);
+  std::vector<double> bc(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  for (VertexId s : sources) {
+    accumulate_source(g, ap, s, bc);
+  }
+  return bc;
+}
+
+std::vector<double> reference_dependency(const CSRGraph& g, VertexId s) {
+  AllPairs ap(g);
+  std::vector<double> dep(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  accumulate_source(g, ap, s, dep);
+  return dep;
+}
+
+}  // namespace bcdyn

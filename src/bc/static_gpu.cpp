@@ -1,0 +1,39 @@
+#include "bc/static_gpu.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "bc/static_kernels.hpp"
+
+namespace bcdyn {
+
+StaticGpuBc::StaticGpuBc(sim::DeviceSpec spec, Parallelism mode,
+                         sim::CostModel cost, int host_workers)
+    : device_(std::move(spec), cost, host_workers), mode_(mode) {}
+
+sim::KernelStats StaticGpuBc::compute(const CSRGraph& g, BcStore& store,
+                                      int num_blocks) {
+  if (num_blocks <= 0) num_blocks = device_.spec().num_sms;
+  std::fill(store.bc().begin(), store.bc().end(), 0.0);
+  const int k = store.num_sources();
+  const Parallelism mode = mode_;
+
+  return device_.launch(num_blocks, [&, mode, num_blocks](sim::BlockContext& ctx) {
+    std::vector<VertexId> order;
+    std::vector<std::size_t> level_offsets;
+    for (int si = ctx.block_id(); si < k; si += num_blocks) {
+      const VertexId s = store.sources()[static_cast<std::size_t>(si)];
+      if (mode == Parallelism::kEdge) {
+        detail::static_source_edge(ctx, g, s, store.dist_row(si),
+                                   store.sigma_row(si), store.delta_row(si),
+                                   store.bc());
+      } else {
+        detail::static_source_node(ctx, g, s, store.dist_row(si),
+                                   store.sigma_row(si), store.delta_row(si),
+                                   store.bc(), order, level_offsets);
+      }
+    }
+  });
+}
+
+}  // namespace bcdyn

@@ -1,0 +1,167 @@
+#include "bc/static_kernels.hpp"
+
+#include <algorithm>
+
+#include "util/atomic_double.hpp"
+
+namespace bcdyn::detail {
+
+namespace {
+
+using sim::BlockContext;
+
+/// Shared init (Algorithm 1 stage 1, parallel over V).
+void init_source(BlockContext& ctx, std::span<Dist> d, std::span<Sigma> sigma,
+                 std::span<double> delta, VertexId s) {
+  ctx.parallel_for(d.size(), [&](std::size_t v) {
+    ctx.charge_instr(1);
+    ctx.charge_write(3);
+    d[v] = kInfDist;
+    sigma[v] = 0.0;
+    delta[v] = 0.0;
+  });
+  d[static_cast<std::size_t>(s)] = 0;
+  sigma[static_cast<std::size_t>(s)] = 1.0;
+}
+
+/// Final BC accumulation: every reachable non-source vertex adds its
+/// dependency into the global array atomically.
+void accumulate_bc(BlockContext& ctx, std::span<const Dist> d,
+                   std::span<const double> delta, std::span<double> bc,
+                   VertexId s) {
+  if (bc.empty()) return;  // caller handles BC (removal fallback)
+  ctx.parallel_for(d.size(), [&](std::size_t v) {
+    ctx.charge_instr(2);
+    ctx.charge_read(1);
+    if (v == static_cast<std::size_t>(s) || d[v] == kInfDist) return;
+    ctx.charge_read(1);
+    ctx.charge_atomic(BlockContext::make_key(4, v));
+    util::atomic_add(bc, v, delta[v]);
+  });
+}
+
+/// Edge-parallel source iteration: every BFS/dependency level scans the
+/// whole directed-arc list.
+}  // namespace
+
+void static_source_edge(sim::BlockContext& ctx, const CSRGraph& g, VertexId s,
+                        std::span<Dist> d, std::span<Sigma> sigma,
+                        std::span<double> delta, std::span<double> bc) {
+  init_source(ctx, d, sigma, delta, s);
+  const auto src = g.arc_src();
+  const auto dst = g.arc_dst();
+  const auto num_arcs = static_cast<std::size_t>(g.num_arcs());
+
+  Dist depth = 0;
+  bool done = false;
+  while (!done) {
+    done = true;
+    ctx.parallel_for(num_arcs, [&](std::size_t a) {
+      ctx.charge_instr(2);
+      ctx.charge_read(2);  // arc endpoints
+      const auto x = static_cast<std::size_t>(src[a]);
+      const auto w = static_cast<std::size_t>(dst[a]);
+      ctx.charge_read(1);
+      if (d[x] != depth) return;
+      ctx.charge_read(1);
+      if (d[w] == kInfDist) {
+        d[w] = depth + 1;
+        ctx.charge_write(1);
+        done = false;
+      }
+      if (d[w] == depth + 1) {
+        ctx.charge_read(2);
+        ctx.charge_atomic(BlockContext::make_key(1, w));
+        sigma[w] += sigma[x];
+      }
+    });
+    ++depth;
+  }
+  const Dist max_depth = depth - 1;
+
+  for (Dist dep = max_depth; dep >= 1; --dep) {
+    ctx.parallel_for(num_arcs, [&](std::size_t a) {
+      ctx.charge_instr(2);
+      ctx.charge_read(2);
+      const auto c = static_cast<std::size_t>(src[a]);
+      const auto p = static_cast<std::size_t>(dst[a]);
+      ctx.charge_read(1);
+      if (d[c] != dep) return;
+      ctx.charge_read(1);
+      if (d[p] != dep - 1) return;
+      ctx.charge_read(4);
+      ctx.charge_atomic(BlockContext::make_key(2, p));
+      delta[p] += sigma[p] / sigma[c] * (1.0 + delta[c]);
+    });
+  }
+  accumulate_bc(ctx, d, delta, bc, s);
+}
+
+/// Node-parallel source iteration: explicit level-segmented frontier.
+void static_source_node(sim::BlockContext& ctx, const CSRGraph& g, VertexId s,
+                        std::span<Dist> d, std::span<Sigma> sigma,
+                        std::span<double> delta, std::span<double> bc,
+                        std::vector<VertexId>& order,
+                        std::vector<std::size_t>& level_offsets) {
+  init_source(ctx, d, sigma, delta, s);
+  order.clear();
+  level_offsets.clear();
+  order.push_back(s);
+  level_offsets.push_back(0);
+
+  std::size_t level_begin = 0;
+  Dist depth = 0;
+  while (level_begin < order.size()) {
+    const std::size_t level_end = order.size();
+    ctx.parallel_for(level_end - level_begin, [&](std::size_t i) {
+      const auto v = static_cast<std::size_t>(order[level_begin + i]);
+      ctx.charge_read(2);  // queue entry + row offset
+      for (VertexId wv : g.neighbors(static_cast<VertexId>(v))) {
+        const auto w = static_cast<std::size_t>(wv);
+        ctx.charge_instr(2);
+        ctx.charge_read(2);  // adjacency entry + d[w]
+        if (d[w] == kInfDist) {
+          d[w] = depth + 1;
+          ctx.charge_write(1);
+          ctx.charge_atomic_aggregated();  // queue-tail counter
+          ctx.charge_write(1);
+          order.push_back(wv);
+        }
+        if (d[w] == depth + 1) {
+          ctx.charge_read(2);
+          ctx.charge_atomic(BlockContext::make_key(1, w));
+          sigma[w] += sigma[v];
+        }
+      }
+    });
+    level_begin = level_end;
+    level_offsets.push_back(order.size());
+    ++depth;
+  }
+
+  // Dependency accumulation: levels in reverse, one thread per frontier
+  // vertex, predecessors found by rescanning adjacency.
+  const auto num_levels = level_offsets.size() - 1;
+  for (std::size_t lev = num_levels; lev-- > 1;) {
+    const std::size_t begin = level_offsets[lev];
+    const std::size_t end = level_offsets[lev + 1];
+    ctx.parallel_for(end - begin, [&](std::size_t i) {
+      const auto w = static_cast<std::size_t>(order[begin + i]);
+      ctx.charge_read(4);
+      const double coeff = (1.0 + delta[w]) / sigma[w];
+      for (VertexId xv : g.neighbors(static_cast<VertexId>(w))) {
+        const auto x = static_cast<std::size_t>(xv);
+        ctx.charge_instr(2);
+        ctx.charge_read(2);
+        if (d[x] + 1 != d[w]) continue;
+        ctx.charge_read(2);
+        ctx.charge_atomic(BlockContext::make_key(2, x));
+        delta[x] += sigma[x] * coeff;
+      }
+    });
+  }
+  accumulate_bc(ctx, d, delta, bc, s);
+}
+
+
+}  // namespace bcdyn::detail

@@ -1,0 +1,75 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace bcdyn::gen {
+
+CSRGraph copaper(VertexId n, double avg_group_size, double groups_per_vertex,
+                 std::uint64_t seed) {
+  if (n < 32) throw std::invalid_argument("copaper: need n >= 32");
+  if (avg_group_size < 2.0 || groups_per_vertex < 1.0) {
+    throw std::invalid_argument("copaper: bad group parameters");
+  }
+  util::Rng rng(seed);
+  GraphBuilder b(n);
+
+  // Affiliation model: "papers" are groups of authors; the projection makes
+  // each group a clique. Authors join several groups, so cliques overlap and
+  // the graph gets the very high degree + clustering of co-paper networks.
+  const auto num_groups = static_cast<std::size_t>(
+      static_cast<double>(n) * groups_per_vertex / avg_group_size);
+  std::vector<VertexId> members;
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    // Group size: geometric-ish around avg_group_size, clamped to [2, 4*avg].
+    const double x = rng.next_double();
+    auto size = static_cast<int>(2.0 - avg_group_size * std::log1p(-x * 0.98));
+    size = std::clamp(size, 2, static_cast<int>(avg_group_size * 4));
+
+    members.clear();
+    // Locality: most groups draw members from a window around an anchor
+    // (research communities); ~10% are cross-community collaborations that
+    // span the whole id space, which keeps the diameter logarithmic.
+    const auto anchor = static_cast<VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    const VertexId window =
+        rng.next_bool(0.1) ? n : std::max<VertexId>(64, n / 64);
+    for (int i = 0; i < size; ++i) {
+      const auto offset =
+          static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(window)));
+      members.push_back(static_cast<VertexId>((anchor + offset) % n));
+    }
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        b.add_edge(members[i], members[j]);
+      }
+    }
+  }
+
+  // Attach stray isolated vertices to random group members so the giant
+  // component dominates without growing the diameter (co-paper networks
+  // have one big, tight component).
+  std::vector<bool> touched(static_cast<std::size_t>(n), false);
+  COOGraph coo = std::move(b).take_coo();
+  std::vector<VertexId> anchors;
+  for (const auto& [u, v] : coo.edges) {
+    touched[static_cast<std::size_t>(u)] = true;
+    touched[static_cast<std::size_t>(v)] = true;
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    if (touched[static_cast<std::size_t>(u)]) anchors.push_back(u);
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    if (touched[static_cast<std::size_t>(u)] || anchors.empty()) continue;
+    coo.add_edge(u, anchors[static_cast<std::size_t>(rng.next_below(anchors.size()))]);
+  }
+  return CSRGraph::from_coo(std::move(coo));
+}
+
+}  // namespace bcdyn::gen

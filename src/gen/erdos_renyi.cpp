@@ -1,0 +1,24 @@
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace bcdyn::gen {
+
+CSRGraph erdos_renyi(VertexId n, EdgeId m, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("erdos_renyi: need n >= 2");
+  const EdgeId max_edges = static_cast<EdgeId>(n) * (n - 1) / 2;
+  if (m > max_edges) throw std::invalid_argument("erdos_renyi: m too large");
+
+  util::Rng rng(seed);
+  GraphBuilder b(n);
+  while (static_cast<EdgeId>(b.num_edges()) < m) {
+    const auto u = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    b.add_edge(u, v);
+  }
+  return std::move(b).build_csr();
+}
+
+}  // namespace bcdyn::gen

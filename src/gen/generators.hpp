@@ -1,0 +1,56 @@
+// Synthetic graph generators.
+//
+// The paper's inputs are seven DIMACS-10 graphs (Table I). Real downloads
+// can be used via io::load_graph; these generators produce the same graph
+// *classes* at configurable scale, which is what drives the phenomena the
+// paper measures (update-scenario mix, touched fraction, BFS depth, degree
+// skew). Every generator is deterministic in its seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace bcdyn::gen {
+
+/// G(n, m): m distinct uniform random edges.
+CSRGraph erdos_renyi(VertexId n, EdgeId m, std::uint64_t seed);
+
+/// Watts-Strogatz small world: ring lattice with k neighbors per side,
+/// each lattice edge rewired with probability p. Matches "smallworld"
+/// (logarithmic diameter, near-uniform degree).
+CSRGraph small_world(VertexId n, int k, double p, std::uint64_t seed);
+
+/// Barabasi-Albert preferential attachment, d edges per arriving vertex.
+/// Matches "preferentialAttachment" (power-law degree tail).
+CSRGraph preferential_attachment(VertexId n, int d, std::uint64_t seed);
+
+/// R-MAT / stochastic-Kronecker with 2^scale vertices and roughly
+/// edge_factor * 2^scale distinct undirected edges. Default probabilities
+/// follow Graph500 (a=.57, b=.19, c=.19). Matches "kron_g500-simple".
+CSRGraph rmat(int scale, int edge_factor, std::uint64_t seed, double a = 0.57,
+              double b = 0.19, double c = 0.19);
+
+/// rows x cols grid where every unit cell gains one random diagonal: a
+/// planar triangulation with ~uniform degree and Theta(sqrt(n)) diameter.
+/// Matches "delaunay" (random triangulation).
+CSRGraph triangulated_grid(VertexId rows, VertexId cols, std::uint64_t seed);
+
+/// Hierarchical internet-topology-like graph: a densely meshed core, a
+/// preferential mid tier, and degree-1..2 leaf routers. Matches
+/// "caidaRouterLevel" (sparse, mild skew, medium diameter).
+CSRGraph router_level(VertexId n, std::uint64_t seed);
+
+/// Web-crawl-like graph: hosts are dense intra-linked page clusters, hub
+/// pages add heavy-tailed cross-host links. Matches "eu-2005" (high average
+/// degree, strong locality, skewed hubs).
+CSRGraph web_crawl(VertexId n, std::uint64_t seed);
+
+/// Co-authorship/copaper-like graph: overlapping group cliques (affiliation
+/// projection). Matches "coPapersCiteseer" (very high average degree and
+/// clustering, small diameter).
+CSRGraph copaper(VertexId n, double avg_group_size, double groups_per_vertex,
+                 std::uint64_t seed);
+
+}  // namespace bcdyn::gen

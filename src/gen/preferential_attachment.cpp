@@ -1,0 +1,61 @@
+#include <stdexcept>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace bcdyn::gen {
+
+CSRGraph preferential_attachment(VertexId n, int d, std::uint64_t seed) {
+  if (d < 1 || n <= d) throw std::invalid_argument("preferential_attachment: need n > d >= 1");
+
+  util::Rng rng(seed);
+  GraphBuilder b(n);
+
+  // Barabasi-Albert with the classic "repeated endpoints" urn: every arc
+  // endpoint is appended to `urn`, so a uniform draw from the urn picks an
+  // existing vertex with probability proportional to its degree.
+  std::vector<VertexId> urn;
+  urn.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d) * 2);
+
+  // Seed clique of d+1 vertices so the first arrival has d attach targets.
+  for (VertexId u = 0; u <= d; ++u) {
+    for (VertexId v = static_cast<VertexId>(u + 1); v <= d; ++v) {
+      if (b.add_edge(u, v)) {
+        urn.push_back(u);
+        urn.push_back(v);
+      }
+    }
+  }
+
+  for (VertexId v = static_cast<VertexId>(d + 1); v < n; ++v) {
+    int attached = 0;
+    int attempts = 0;
+    const int max_attempts = 32 * d;
+    while (attached < d && attempts < max_attempts) {
+      ++attempts;
+      const VertexId target =
+          urn[static_cast<std::size_t>(rng.next_below(urn.size()))];
+      if (b.add_edge(v, target)) {
+        urn.push_back(v);
+        urn.push_back(target);
+        ++attached;
+      }
+    }
+    // Extremely unlikely fallback: attach uniformly if the urn kept
+    // returning duplicates (only possible for tiny graphs).
+    while (attached < d) {
+      const auto target = static_cast<VertexId>(
+          rng.next_below(static_cast<std::uint64_t>(v)));
+      if (b.add_edge(v, target)) {
+        urn.push_back(v);
+        urn.push_back(target);
+        ++attached;
+      }
+    }
+  }
+  return std::move(b).build_csr();
+}
+
+}  // namespace bcdyn::gen

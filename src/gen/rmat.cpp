@@ -1,0 +1,47 @@
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace bcdyn::gen {
+
+CSRGraph rmat(int scale, int edge_factor, std::uint64_t seed, double a,
+              double b, double c) {
+  if (scale < 1 || scale > 30) throw std::invalid_argument("rmat: bad scale");
+  if (edge_factor < 1) throw std::invalid_argument("rmat: bad edge_factor");
+  const double d = 1.0 - a - b - c;
+  if (a < 0 || b < 0 || c < 0 || d < 0) {
+    throw std::invalid_argument("rmat: probabilities must sum to <= 1");
+  }
+
+  const VertexId n = static_cast<VertexId>(1) << scale;
+  const EdgeId target =
+      static_cast<EdgeId>(edge_factor) * static_cast<EdgeId>(n);
+
+  util::Rng rng(seed);
+  GraphBuilder builder(n);
+  // Duplicate edges and self loops are simply re-drawn; RMAT produces many
+  // of both, so cap total draws to avoid livelock on tiny/dense configs.
+  const EdgeId max_draws = target * 8;
+  EdgeId draws = 0;
+  while (static_cast<EdgeId>(builder.num_edges()) < target &&
+         draws < max_draws) {
+    ++draws;
+    VertexId u = 0;
+    VertexId v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      const int quadrant = r < a           ? 0
+                           : r < a + b     ? 1
+                           : r < a + b + c ? 2
+                                           : 3;
+      u = static_cast<VertexId>((u << 1) | (quadrant >> 1));
+      v = static_cast<VertexId>((v << 1) | (quadrant & 1));
+    }
+    builder.add_edge(u, v);
+  }
+  return std::move(builder).build_csr();
+}
+
+}  // namespace bcdyn::gen

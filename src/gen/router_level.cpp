@@ -1,0 +1,64 @@
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace bcdyn::gen {
+
+CSRGraph router_level(VertexId n, std::uint64_t seed) {
+  if (n < 64) throw std::invalid_argument("router_level: need n >= 64");
+  util::Rng rng(seed);
+  GraphBuilder b(n);
+
+  // Three tiers, mirroring AS-level internet structure:
+  //   core  (~0.5%): densely meshed backbone routers;
+  //   mid  (~19.5%): regional routers, preferentially attached to core/mid;
+  //   leaf   (~80%): access routers with 1-2 uplinks into the mid tier.
+  const VertexId core_end = std::max<VertexId>(8, n / 200);
+  const VertexId mid_end = n / 5;
+
+  // Core: random dense mesh (~25% of pairs) plus a ring for connectivity.
+  for (VertexId v = 0; v < core_end; ++v) {
+    b.add_edge(v, static_cast<VertexId>((v + 1) % core_end));
+    for (VertexId w = static_cast<VertexId>(v + 1); w < core_end; ++w) {
+      if (rng.next_bool(0.25)) b.add_edge(v, w);
+    }
+  }
+
+  // Mid tier: degree-proportional attachment with 2-3 uplinks.
+  std::vector<VertexId> urn;
+  for (VertexId v = 0; v < core_end; ++v) urn.push_back(v);
+  for (VertexId v = core_end; v < mid_end; ++v) {
+    const int uplinks = 2 + static_cast<int>(rng.next_below(2));
+    for (int j = 0; j < uplinks; ++j) {
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const VertexId target =
+            urn[static_cast<std::size_t>(rng.next_below(urn.size()))];
+        if (b.add_edge(v, target)) {
+          urn.push_back(target);
+          break;
+        }
+      }
+    }
+    urn.push_back(v);
+  }
+
+  // Leaves: 1-2 uplinks to uniform mid-tier routers (no preferential pull,
+  // which keeps the long tendrils that give router graphs their diameter).
+  for (VertexId v = mid_end; v < n; ++v) {
+    const int uplinks = 1 + static_cast<int>(rng.next_bool(0.3));
+    for (int j = 0; j < uplinks; ++j) {
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const auto target = static_cast<VertexId>(
+            core_end + rng.next_below(static_cast<std::uint64_t>(mid_end - core_end)));
+        if (b.add_edge(v, target)) break;
+      }
+    }
+  }
+  return std::move(b).build_csr();
+}
+
+}  // namespace bcdyn::gen

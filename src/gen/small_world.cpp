@@ -1,0 +1,39 @@
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace bcdyn::gen {
+
+CSRGraph small_world(VertexId n, int k, double p, std::uint64_t seed) {
+  if (n < 3 || k < 1 || 2 * k >= n) {
+    throw std::invalid_argument("small_world: need n > 2k >= 2");
+  }
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("small_world: bad p");
+
+  util::Rng rng(seed);
+  GraphBuilder b(n);
+  // Ring lattice: v connects to the k clockwise neighbors; each such edge is
+  // rewired to a uniform random endpoint with probability p (Watts-Strogatz).
+  for (VertexId v = 0; v < n; ++v) {
+    for (int j = 1; j <= k; ++j) {
+      VertexId w = static_cast<VertexId>((v + j) % n);
+      if (rng.next_bool(p)) {
+        // Retry a few times if the rewired edge already exists; fall back to
+        // the lattice edge so the edge count stays deterministic.
+        bool placed = false;
+        for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+          const auto r = static_cast<VertexId>(
+              rng.next_below(static_cast<std::uint64_t>(n)));
+          placed = b.add_edge(v, r);
+        }
+        if (placed) continue;
+      }
+      b.add_edge(v, w);
+    }
+  }
+  return std::move(b).build_csr();
+}
+
+}  // namespace bcdyn::gen

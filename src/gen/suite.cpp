@@ -1,0 +1,66 @@
+#include "gen/suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+
+namespace bcdyn::gen {
+
+namespace {
+
+VertexId scaled(double base, double scale, VertexId minimum) {
+  return std::max<VertexId>(minimum, static_cast<VertexId>(base * scale));
+}
+
+}  // namespace
+
+SuiteEntry build_suite_graph(const std::string& name, double scale,
+                             std::uint64_t seed) {
+  if (name == "caida") {
+    return {"caida", "caidaRouterLevel",
+            router_level(scaled(24000, scale, 256), seed ^ 0xca1da)};
+  }
+  if (name == "coPap") {
+    return {"coPap", "coPapersCiteseer",
+            copaper(scaled(16000, scale, 256), 14.0, 2.2, seed ^ 0xc0a9)};
+  }
+  if (name == "del") {
+    const auto side = static_cast<VertexId>(
+        std::max(16.0, std::sqrt(32000.0 * scale)));
+    return {"del", "delaunay_n20", triangulated_grid(side, side, seed ^ 0xde1)};
+  }
+  if (name == "eu") {
+    return {"eu", "eu-2005", web_crawl(scaled(24000, scale, 256), seed ^ 0xe005)};
+  }
+  if (name == "kron") {
+    const int sc = std::clamp(
+        static_cast<int>(std::lround(14 + std::log2(std::max(0.1, scale)))), 8,
+        24);
+    return {"kron", "kron_g500-simple-logn19", rmat(sc, 16, seed ^ 0x9500)};
+  }
+  if (name == "pref") {
+    return {"pref", "preferentialAttachment",
+            preferential_attachment(scaled(20000, scale, 256), 5, seed ^ 0x96ef)};
+  }
+  if (name == "small") {
+    return {"small", "smallworld",
+            small_world(scaled(20000, scale, 256), 5, 0.1, seed ^ 0x5a11)};
+  }
+  throw std::invalid_argument("unknown suite graph: " + name);
+}
+
+std::vector<std::string> suite_names() {
+  return {"caida", "coPap", "del", "eu", "kron", "pref", "small"};
+}
+
+std::vector<SuiteEntry> build_suite(double scale, std::uint64_t seed) {
+  std::vector<SuiteEntry> out;
+  for (const auto& name : suite_names()) {
+    out.push_back(build_suite_graph(name, scale, seed));
+  }
+  return out;
+}
+
+}  // namespace bcdyn::gen

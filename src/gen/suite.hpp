@@ -1,0 +1,31 @@
+// The benchmark graph suite: generator-built analogues of the paper's
+// Table I inputs, at a configurable scale (scale=1.0 is the default bench
+// size; paper-sized graphs are scale~10-30 and take correspondingly longer).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace bcdyn::gen {
+
+struct SuiteEntry {
+  std::string name;        // short name used in the paper's tables
+  std::string paper_name;  // DIMACS-10 graph it stands in for
+  CSRGraph graph;
+};
+
+/// Builds all seven suite graphs. `scale` multiplies vertex counts.
+std::vector<SuiteEntry> build_suite(double scale, std::uint64_t seed);
+
+/// Builds a single suite graph by short name (caida, coPap, del, eu, kron,
+/// pref, small). Throws std::invalid_argument for unknown names.
+SuiteEntry build_suite_graph(const std::string& name, double scale,
+                             std::uint64_t seed);
+
+/// All short names, in the paper's table order.
+std::vector<std::string> suite_names();
+
+}  // namespace bcdyn::gen

@@ -1,0 +1,36 @@
+#include <stdexcept>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace bcdyn::gen {
+
+CSRGraph triangulated_grid(VertexId rows, VertexId cols, std::uint64_t seed) {
+  if (rows < 2 || cols < 2) {
+    throw std::invalid_argument("triangulated_grid: need rows, cols >= 2");
+  }
+  util::Rng rng(seed);
+  const VertexId n = rows * cols;
+  GraphBuilder b(n);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+      // One diagonal per unit cell, random orientation: turns every square
+      // face into two triangles, i.e. a planar triangulation of the grid.
+      if (r + 1 < rows && c + 1 < cols) {
+        if (rng.next_bool(0.5)) {
+          b.add_edge(id(r, c), id(r + 1, c + 1));
+        } else {
+          b.add_edge(id(r, c + 1), id(r + 1, c));
+        }
+      }
+    }
+  }
+  return std::move(b).build_csr();
+}
+
+}  // namespace bcdyn::gen

@@ -1,0 +1,69 @@
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace bcdyn::gen {
+
+CSRGraph web_crawl(VertexId n, std::uint64_t seed) {
+  if (n < 128) throw std::invalid_argument("web_crawl: need n >= 128");
+  util::Rng rng(seed);
+  GraphBuilder b(n);
+
+  // Pages are grouped into hosts with heavy-tailed host sizes. Pages link
+  // densely within a host (site navigation) and hubs link across hosts.
+  std::vector<VertexId> host_start;
+  VertexId v = 0;
+  while (v < n) {
+    host_start.push_back(v);
+    // Pareto-ish host size in [8, 512].
+    const double x = rng.next_double();
+    const auto size = static_cast<VertexId>(8.0 / (0.015 + x * x * x));
+    v = static_cast<VertexId>(
+        std::min<std::int64_t>(n, static_cast<std::int64_t>(v) +
+                                      std::clamp<VertexId>(size, 8, 512)));
+  }
+  host_start.push_back(n);
+  const std::size_t num_hosts = host_start.size() - 1;
+
+  for (std::size_t h = 0; h < num_hosts; ++h) {
+    const VertexId lo = host_start[h];
+    const VertexId hi = host_start[h + 1];
+    const VertexId size = hi - lo;
+    // Navigation chain keeps the host connected; extra intra-host links
+    // give the high average degree typical of site templates.
+    for (VertexId p = lo; p + 1 < hi; ++p) b.add_edge(p, p + 1);
+    const EdgeId extra = static_cast<EdgeId>(size) * 6;
+    for (EdgeId e = 0; e < extra; ++e) {
+      const auto p = static_cast<VertexId>(
+          lo + rng.next_below(static_cast<std::uint64_t>(size)));
+      const auto q = static_cast<VertexId>(
+          lo + rng.next_below(static_cast<std::uint64_t>(size)));
+      b.add_edge(p, q);
+    }
+    // First page is the host's hub: 3-16 outgoing cross-host links with a
+    // Zipf-like host preference, usually landing on the target host's own
+    // hub page. Popular hosts' hubs therefore accumulate degree far above
+    // the mean - the skewed in-degree signature of web crawls.
+    const int cross = 3 + static_cast<int>(rng.next_below(14));
+    for (int e = 0; e < cross; ++e) {
+      const double z = rng.next_double();
+      const auto th = static_cast<std::size_t>(z * z * z *
+                                               static_cast<double>(num_hosts));
+      const VertexId tlo = host_start[th];
+      const VertexId thi = host_start[th + 1];
+      const VertexId target =
+          rng.next_bool(0.7)
+              ? tlo  // link to the host's hub/front page
+              : static_cast<VertexId>(
+                    tlo + rng.next_below(static_cast<std::uint64_t>(thi - tlo)));
+      b.add_edge(lo, target);
+    }
+  }
+  return std::move(b).build_csr();
+}
+
+}  // namespace bcdyn::gen

@@ -1,0 +1,35 @@
+#include "gpusim/block_context.hpp"
+
+namespace bcdyn::sim {
+
+BlockContext::BlockContext(const DeviceSpec& spec, const CostModel& cost,
+                           int block_id, bool track_atomic_conflicts)
+    : spec_(&spec),
+      cost_(&cost),
+      block_id_(block_id),
+      track_conflicts_(track_atomic_conflicts) {}
+
+void BlockContext::close_round(double round_max) {
+  // A round costs its issue overhead, the slowest thread's latency chain
+  // (divergence max), and the aggregate memory-throughput time of all the
+  // accesses the round issued - the term that makes saturating the memory
+  // bus with futile loads expensive.
+  const double throughput =
+      cost_->read_throughput_cycles * static_cast<double>(round_reads_) +
+      cost_->write_throughput_cycles * static_cast<double>(round_writes_) +
+      cost_->atomic_throughput_cycles * static_cast<double>(round_atomics_);
+  counters_.cycles += cost_->round_issue_cycles + round_max + throughput;
+  ++counters_.rounds;
+  round_reads_ = round_writes_ = round_atomics_ = 0;
+  if (track_conflicts_) {
+    window_addresses_.clear();
+    items_in_warp_ = 0;
+  }
+}
+
+void BlockContext::barrier() {
+  counters_.cycles += cost_->barrier_cycles;
+  ++counters_.barriers;
+}
+
+}  // namespace bcdyn::sim

@@ -1,0 +1,137 @@
+// Execution context for one simulated thread block.
+//
+// Kernels written against this API look like the paper's pseudocode:
+//
+//   ctx.parallel_for(graph.num_arcs(), [&](std::size_t a) {
+//     ctx.charge_read();                 // load d[arc_src[a]]
+//     if (d[src[a]] != depth) return;    // divergent early-out
+//     ...
+//   });                                  // implicit barrier, charged
+//
+// parallel_for stripes items over `threads_per_block` SIMT threads: items
+// [r*T, (r+1)*T) form round r, and the round is charged issue cost plus the
+// *maximum* per-item cost in the round (lockstep divergence). Execution is
+// sequential within a block - results are bit-deterministic - while the
+// Device runs independent blocks on a worker pool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+
+namespace bcdyn::sim {
+
+class BlockContext {
+ public:
+  BlockContext(const DeviceSpec& spec, const CostModel& cost, int block_id,
+               bool track_atomic_conflicts = false);
+
+  int block_id() const { return block_id_; }
+  int num_threads() const { return spec_->threads_per_block; }
+
+  /// SIMT loop over n work items with an implicit trailing barrier.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    const auto threads = static_cast<std::size_t>(spec_->threads_per_block);
+    double round_max = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      begin_item();
+      fn(i);
+      round_max = std::max(round_max, item_cycles_);
+      ++counters_.items;
+      if ((i + 1) % threads == 0) {
+        close_round(round_max);
+        round_max = 0.0;
+      }
+    }
+    if (n % threads != 0 || n == 0) {
+      close_round(round_max);  // final partial round (or the empty round)
+    }
+    barrier();
+  }
+
+  /// Explicit __syncthreads() charge for multi-phase shared-memory steps.
+  void barrier();
+
+  // --- charging API (call from inside work items) -----------------------
+  void charge_instr(std::size_t k = 1) {
+    item_cycles_ += cost_->instr_cycles * static_cast<double>(k);
+    counters_.instrs += k;
+  }
+  void charge_read(std::size_t k = 1) {
+    item_cycles_ += cost_->global_read_cycles * static_cast<double>(k);
+    counters_.global_reads += k;
+    round_reads_ += k;
+  }
+  void charge_write(std::size_t k = 1) {
+    item_cycles_ += cost_->global_write_cycles * static_cast<double>(k);
+    counters_.global_writes += k;
+    round_writes_ += k;
+  }
+  /// Queue-tail style counter atomics: on hardware these are warp-
+  /// aggregated (one atomic per warp, Merrill et al.), so they are charged
+  /// but never counted as same-address conflicts.
+  void charge_atomic_aggregated() {
+    item_cycles_ += cost_->atomic_cycles;
+    ++counters_.atomics;
+    ++round_atomics_;
+  }
+
+  /// `address_key`: a stable id for the memory location, namespaced per
+  /// array via make_key() - used to model same-address serialization when
+  /// conflict tracking is on. The conflict window is one *warp* (the
+  /// hardware serializes simultaneous same-address atomics within a warp;
+  /// across warps they interleave through the memory pipeline).
+  void charge_atomic(std::uint64_t address_key = 0) {
+    item_cycles_ += cost_->atomic_cycles;
+    ++counters_.atomics;
+    ++round_atomics_;
+    if (track_conflicts_) {
+      const auto hits = ++window_addresses_[address_key];
+      if (hits > 1) {
+        item_cycles_ += cost_->atomic_conflict_cycles;
+        ++counters_.atomic_conflicts;
+      }
+    }
+  }
+
+  /// Namespaces an element index by the array it belongs to, so that e.g.
+  /// sigma_hat[v] and delta_hat[v] don't alias in conflict tracking.
+  static constexpr std::uint64_t make_key(std::uint32_t array_id,
+                                          std::uint64_t index) {
+    return (static_cast<std::uint64_t>(array_id) << 40) ^ index;
+  }
+
+  const BlockCounters& counters() const { return counters_; }
+  double cycles() const { return counters_.cycles; }
+
+ private:
+  void begin_item() {
+    item_cycles_ = 0.0;
+    if (track_conflicts_ &&
+        ++items_in_warp_ > static_cast<std::size_t>(spec_->warp_size)) {
+      window_addresses_.clear();
+      items_in_warp_ = 1;
+    }
+  }
+  void close_round(double round_max);
+
+  const DeviceSpec* spec_;
+  const CostModel* cost_;
+  int block_id_;
+  bool track_conflicts_;
+  BlockCounters counters_;
+  double item_cycles_ = 0.0;
+  std::size_t round_reads_ = 0;
+  std::size_t round_writes_ = 0;
+  std::size_t round_atomics_ = 0;
+  std::size_t items_in_warp_ = 0;
+  std::unordered_map<std::uint64_t, std::uint32_t> window_addresses_;
+};
+
+}  // namespace bcdyn::sim

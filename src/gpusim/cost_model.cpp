@@ -1,0 +1,18 @@
+#include "gpusim/cost_model.hpp"
+
+#include "gpusim/kernel_stats.hpp"
+
+namespace bcdyn::sim {
+
+// (Coefficient struct is header-only; this TU anchors the module and hosts
+// the CPU-side conversion shared by the sequential baseline.)
+
+double cpu_seconds(const CostModel& cm, std::uint64_t instrs,
+                   std::uint64_t reads, std::uint64_t writes) {
+  const double cycles = cm.cpu_cycles_per_instr * static_cast<double>(instrs) +
+                        cm.cpu_cycles_per_read * static_cast<double>(reads) +
+                        cm.cpu_cycles_per_write * static_cast<double>(writes);
+  return cycles / (cm.cpu_clock_ghz * 1e9);
+}
+
+}  // namespace bcdyn::sim

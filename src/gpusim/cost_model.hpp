@@ -1,0 +1,60 @@
+// Timing model for the simulated device.
+//
+// Kernels execute the real algorithms (results are exact); the cost model
+// turns the *counted* work into modeled device time. Per SIMT "round" (one
+// pass of threads_per_block threads over a stripe of work items) the charge
+// is a fixed issue cost plus the maximum per-item cost in the round - the
+// max models lockstep divergence: a round is as slow as its slowest thread,
+// which is how node-parallel kernels feel power-law degree imbalance.
+//
+// The coefficients below are calibrated against Fermi-era latencies
+// (global load ~ hundreds of cycles, hidden across ~32 resident warps, so
+// the *effective* per-access cost is tens of cycles). The paper's
+// qualitative results - who wins, crossover points, scaling with graph
+// size - depend only on the counted work, not on these constants; see
+// DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+
+namespace bcdyn::sim {
+
+struct CostModel {
+  double round_issue_cycles = 8.0;    // fixed cost of issuing one round
+  double instr_cycles = 1.0;          // per counted ALU/branch unit
+  double global_read_cycles = 12.0;   // per global-memory read (latency-hidden)
+  double global_write_cycles = 8.0;   // per global-memory write
+  double atomic_cycles = 32.0;        // per atomic RMW, uncontended
+  double atomic_conflict_cycles = 48.0;  // extra serialization per same-address conflict
+  double barrier_cycles = 40.0;       // block-wide __syncthreads()
+  double block_dispatch_cycles = 800.0;   // scheduling a block onto an SM
+  double kernel_launch_cycles = 6000.0;   // host-side launch overhead
+
+  // Aggregate memory-throughput terms, charged per round on the *sum* of
+  // the round's accesses (the per-access costs above enter the round's
+  // divergence max instead). These are what make a fully-loaded
+  // edge-parallel round - 1024 threads all issuing loads - cost more than a
+  // nearly-empty one: Fermi-era global bandwidth shared by an SM is on the
+  // order of 10 GB/s, i.e. ~0.3-0.4 cycles per 32-bit access at 1.15 GHz.
+  double read_throughput_cycles = 0.35;    // per read in the round
+  double write_throughput_cycles = 0.35;   // per write in the round
+  double atomic_throughput_cycles = 2.0;   // per atomic in the round
+
+  /// Models a host CPU executing one operation stream (used to convert the
+  /// sequential baseline's counters into seconds). ~3.4 GHz i7-2600K. The
+  /// per-access costs average over the cache hierarchy for pointer-chasing
+  /// graph code at the paper's working-set sizes (per-source state alone is
+  /// O(n) ~ MBs, so vertex-indexed reads mix L2/L3/DRAM latencies; an
+  /// all-L1 model would overstate the CPU baseline by ~4x).
+  double cpu_clock_ghz = 3.4;
+  double cpu_cycles_per_instr = 1.2;
+  double cpu_cycles_per_read = 24.0;
+  double cpu_cycles_per_write = 12.0;
+};
+
+/// Converts CPU-side operation counts into modeled seconds (sequential
+/// i7-class host, see CostModel's cpu_* coefficients).
+double cpu_seconds(const CostModel& cm, std::uint64_t instrs,
+                   std::uint64_t reads, std::uint64_t writes);
+
+}  // namespace bcdyn::sim

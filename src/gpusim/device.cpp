@@ -1,0 +1,69 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace bcdyn::sim {
+
+Device::Device(DeviceSpec spec, CostModel cost, int host_workers,
+               bool track_atomic_conflicts)
+    : spec_(std::move(spec)),
+      cost_(cost),
+      track_conflicts_(track_atomic_conflicts) {
+  if (host_workers > 0) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(host_workers));
+  }
+}
+
+double schedule_makespan(const std::vector<double>& block_cycles, int num_sms,
+                         double dispatch_cycles) {
+  // Min-heap of SM finish times; each block goes to the earliest-free SM.
+  std::priority_queue<double, std::vector<double>, std::greater<>> sms;
+  for (int s = 0; s < num_sms; ++s) sms.push(0.0);
+  double makespan = 0.0;
+  for (double cycles : block_cycles) {
+    double at = sms.top();
+    sms.pop();
+    at += dispatch_cycles + cycles;
+    makespan = std::max(makespan, at);
+    sms.push(at);
+  }
+  return makespan;
+}
+
+KernelStats Device::launch(int num_blocks, const Kernel& kernel) {
+  std::vector<BlockContext> contexts;
+  contexts.reserve(static_cast<std::size_t>(num_blocks));
+  for (int b = 0; b < num_blocks; ++b) {
+    contexts.emplace_back(spec_, cost_, b, track_conflicts_);
+  }
+
+  if (pool_) {
+    for (int b = 0; b < num_blocks; ++b) {
+      pool_->submit([&kernel, &contexts, b] { kernel(contexts[static_cast<std::size_t>(b)]); });
+    }
+    pool_->wait_idle();
+  } else {
+    for (auto& ctx : contexts) kernel(ctx);
+  }
+
+  KernelStats stats;
+  stats.num_blocks = num_blocks;
+  std::vector<double> block_cycles;
+  block_cycles.reserve(contexts.size());
+  for (const auto& ctx : contexts) {
+    stats.total += ctx.counters();
+    stats.max_block_cycles = std::max(stats.max_block_cycles, ctx.cycles());
+    block_cycles.push_back(ctx.cycles());
+  }
+  stats.makespan_cycles =
+      cost_.kernel_launch_cycles +
+      schedule_makespan(block_cycles, spec_.num_sms, cost_.block_dispatch_cycles);
+  stats.seconds = stats.makespan_cycles / (spec_.clock_ghz * 1e9);
+  accumulated_ += stats;
+  return stats;
+}
+
+}  // namespace bcdyn::sim

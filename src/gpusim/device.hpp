@@ -1,0 +1,58 @@
+// The simulated device: schedules thread blocks onto SMs.
+//
+// Blocks are independent (the paper's coarse-grained decomposition: one
+// source vertex per block), so the device runs them on a host worker pool
+// when cores are available, or inline in block order when `host_workers` is
+// zero - results are identical either way up to the floating-point
+// reduction order of cross-block atomics.
+//
+// Modeled time never depends on host execution order: each block's cycle
+// count is deterministic, and the makespan is computed by replaying a
+// greedy block->SM schedule (each finished SM takes the next block), which
+// is the hardware's behaviour and what makes Fig. 1 plateau at multiples
+// of the SM count.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "gpusim/block_context.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bcdyn::sim {
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec, CostModel cost = {}, int host_workers = 0,
+                  bool track_atomic_conflicts = false);
+
+  const DeviceSpec& spec() const { return spec_; }
+  const CostModel& cost_model() const { return cost_; }
+
+  using Kernel = std::function<void(BlockContext&)>;
+
+  /// Launches `num_blocks` blocks of `kernel`. Blocks see their id via
+  /// BlockContext::block_id(). Blocking; returns the launch's stats.
+  KernelStats launch(int num_blocks, const Kernel& kernel);
+
+  /// Cumulative stats across all launches since construction/reset.
+  const KernelStats& accumulated() const { return accumulated_; }
+  void reset_accumulated() { accumulated_ = {}; }
+
+ private:
+  DeviceSpec spec_;
+  CostModel cost_;
+  bool track_conflicts_;
+  std::unique_ptr<util::ThreadPool> pool_;  // null => inline execution
+  KernelStats accumulated_;
+};
+
+/// Computes the makespan of `block_cycles` over `num_sms` SMs under the
+/// greedy next-free-SM schedule, including dispatch overhead per block.
+double schedule_makespan(const std::vector<double>& block_cycles, int num_sms,
+                         double dispatch_cycles);
+
+}  // namespace bcdyn::sim

@@ -1,0 +1,38 @@
+// Simulated device descriptions.
+//
+// The two entries mirror the paper's hardware (§IV): an Nvidia Tesla C2075
+// (14 SMs @ 1.15 GHz) and a GTX 560 (7 SMs). Kernels follow the paper's
+// launch configuration: the maximum number of threads per block, and a
+// number of blocks equal to the number of SMs (except where Fig. 1 sweeps
+// the block count explicitly).
+#pragma once
+
+#include <string>
+
+namespace bcdyn::sim {
+
+struct DeviceSpec {
+  std::string name;
+  int num_sms = 14;
+  int threads_per_block = 1024;  // compute-capability 2.0 maximum
+  int warp_size = 32;
+  double clock_ghz = 1.15;
+
+  static DeviceSpec tesla_c2075() {
+    return {.name = "Tesla C2075",
+            .num_sms = 14,
+            .threads_per_block = 1024,
+            .warp_size = 32,
+            .clock_ghz = 1.15};
+  }
+
+  static DeviceSpec gtx_560() {
+    return {.name = "GTX 560",
+            .num_sms = 7,
+            .threads_per_block = 1024,
+            .warp_size = 32,
+            .clock_ghz = 1.62};
+  }
+};
+
+}  // namespace bcdyn::sim

@@ -1,0 +1,44 @@
+#include "gpusim/kernel_stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bcdyn::sim {
+
+BlockCounters& BlockCounters::operator+=(const BlockCounters& o) {
+  rounds += o.rounds;
+  items += o.items;
+  instrs += o.instrs;
+  global_reads += o.global_reads;
+  global_writes += o.global_writes;
+  atomics += o.atomics;
+  atomic_conflicts += o.atomic_conflicts;
+  barriers += o.barriers;
+  cycles += o.cycles;
+  return *this;
+}
+
+KernelStats& KernelStats::operator+=(const KernelStats& o) {
+  total += o.total;
+  max_block_cycles = std::max(max_block_cycles, o.max_block_cycles);
+  makespan_cycles += o.makespan_cycles;  // launches run back to back
+  seconds += o.seconds;
+  num_blocks = std::max(num_blocks, o.num_blocks);
+  return *this;
+}
+
+std::string KernelStats::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "blocks=%d rounds=%llu items=%llu reads=%llu writes=%llu "
+                "atomics=%llu barriers=%llu time=%.6fs",
+                num_blocks, static_cast<unsigned long long>(total.rounds),
+                static_cast<unsigned long long>(total.items),
+                static_cast<unsigned long long>(total.global_reads),
+                static_cast<unsigned long long>(total.global_writes),
+                static_cast<unsigned long long>(total.atomics),
+                static_cast<unsigned long long>(total.barriers), seconds);
+  return buf;
+}
+
+}  // namespace bcdyn::sim

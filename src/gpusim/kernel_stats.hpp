@@ -1,0 +1,38 @@
+// Work counters collected by the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/cost_model.hpp"
+
+namespace bcdyn::sim {
+
+/// Counters for one thread block's execution of a kernel.
+struct BlockCounters {
+  std::uint64_t rounds = 0;
+  std::uint64_t items = 0;          // work items actually executed
+  std::uint64_t instrs = 0;
+  std::uint64_t global_reads = 0;
+  std::uint64_t global_writes = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t atomic_conflicts = 0;
+  std::uint64_t barriers = 0;
+  double cycles = 0.0;              // modeled block-sequential cycles
+
+  BlockCounters& operator+=(const BlockCounters& o);
+};
+
+/// Aggregated result of one kernel launch.
+struct KernelStats {
+  BlockCounters total;      // summed over blocks
+  double max_block_cycles = 0.0;
+  double makespan_cycles = 0.0;  // greedy block->SM schedule, incl. overheads
+  double seconds = 0.0;          // makespan / clock
+  int num_blocks = 0;
+
+  KernelStats& operator+=(const KernelStats& o);  // sequential composition
+  std::string to_string() const;
+};
+
+}  // namespace bcdyn::sim

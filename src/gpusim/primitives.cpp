@@ -1,0 +1,139 @@
+#include "gpusim/primitives.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace bcdyn::sim {
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  return n <= 1 ? 1 : std::bit_ceil(n);
+}
+
+}  // namespace
+
+void block_bitonic_sort(BlockContext& ctx, std::vector<VertexId>& values,
+                        std::size_t len) {
+  if (len <= 1) return;
+  const std::size_t padded = next_pow2(len);
+  if (values.size() < padded) values.resize(padded);
+  constexpr VertexId kSentinel = std::numeric_limits<VertexId>::max();
+  for (std::size_t i = len; i < padded; ++i) values[i] = kSentinel;
+
+  // Classic bitonic network: outer stage doubles the sorted-run length,
+  // inner stage halves the compare distance.
+  for (std::size_t k = 2; k <= padded; k <<= 1) {
+    for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+      ctx.parallel_for(padded / 2, [&](std::size_t t) {
+        // Map thread t to the t-th compare-exchange pair of this stage.
+        const std::size_t i = 2 * t - (t & (j - 1));
+        const std::size_t partner = i ^ j;
+        ctx.charge_instr(4);
+        ctx.charge_read(2);
+        const bool ascending = (i & k) == 0;
+        if ((values[i] > values[partner]) == ascending) {
+          std::swap(values[i], values[partner]);
+          ctx.charge_write(2);
+        }
+      });
+    }
+  }
+}
+
+std::uint32_t block_exclusive_scan(BlockContext& ctx,
+                                   std::vector<std::uint32_t>& values,
+                                   std::size_t len) {
+  if (len == 0) return 0;
+  const std::size_t padded = next_pow2(len);
+  if (values.size() < padded) values.resize(padded);
+  for (std::size_t i = len; i < padded; ++i) values[i] = 0;
+
+  // Blelloch up-sweep.
+  for (std::size_t stride = 1; stride < padded; stride <<= 1) {
+    ctx.parallel_for(padded / (2 * stride), [&](std::size_t t) {
+      const std::size_t hi = (t + 1) * 2 * stride - 1;
+      const std::size_t lo = hi - stride;
+      ctx.charge_instr(3);
+      ctx.charge_read(2);
+      ctx.charge_write(1);
+      values[hi] += values[lo];
+    });
+  }
+  const std::uint32_t total = values[padded - 1];
+  values[padded - 1] = 0;
+  // Down-sweep.
+  for (std::size_t stride = padded >> 1; stride >= 1; stride >>= 1) {
+    ctx.parallel_for(padded / (2 * stride), [&](std::size_t t) {
+      const std::size_t hi = (t + 1) * 2 * stride - 1;
+      const std::size_t lo = hi - stride;
+      ctx.charge_instr(3);
+      ctx.charge_read(2);
+      ctx.charge_write(2);
+      const std::uint32_t tmp = values[lo];
+      values[lo] = values[hi];
+      values[hi] += tmp;
+    });
+    if (stride == 1) break;
+  }
+  return total;
+}
+
+std::size_t block_remove_duplicates(BlockContext& ctx,
+                                    std::vector<VertexId>& queue,
+                                    std::size_t len,
+                                    std::vector<VertexId>& scratch,
+                                    std::vector<std::uint32_t>& flags) {
+  if (len <= 1) return len;
+
+  // 1) Sort so duplicates are adjacent.
+  block_bitonic_sort(ctx, queue, len);
+
+  // 2) Flag the first occurrence of each value.
+  if (flags.size() < len) flags.resize(len);
+  ctx.parallel_for(len, [&](std::size_t i) {
+    ctx.charge_instr(2);
+    ctx.charge_read(i == 0 ? 1 : 2);
+    flags[i] = (i == 0 || queue[i] != queue[i - 1]) ? 1u : 0u;
+    ctx.charge_write(1);
+  });
+
+  // 3) Exclusive scan of the flags gives each unique element's output slot.
+  if (scratch.size() < len) scratch.resize(len);
+  std::vector<std::uint32_t> slots(flags.begin(), flags.begin() + static_cast<std::ptrdiff_t>(len));
+  const std::uint32_t unique = block_exclusive_scan(ctx, slots, len);
+
+  // 4) Scatter unique elements to their slots.
+  ctx.parallel_for(len, [&](std::size_t i) {
+    ctx.charge_instr(2);
+    ctx.charge_read(2);
+    if (flags[i]) {
+      scratch[slots[i]] = queue[i];
+      ctx.charge_write(1);
+    }
+  });
+  std::copy(scratch.begin(), scratch.begin() + unique, queue.begin());
+  return unique;
+}
+
+Dist block_reduce_max(BlockContext& ctx, const std::vector<Dist>& values,
+                      std::size_t len, Dist identity) {
+  Dist result = identity;
+  // Tree reduction: log2(len) stages of pairwise max. We execute the
+  // reduction sequentially (the result is order-independent) but charge
+  // the stage structure a CUDA reduction would run.
+  std::size_t width = next_pow2(len);
+  while (width > 1) {
+    width >>= 1;
+    ctx.parallel_for(width, [&](std::size_t) {
+      ctx.charge_instr(2);
+      ctx.charge_read(2);
+      ctx.charge_write(1);
+    });
+  }
+  for (std::size_t i = 0; i < len; ++i) result = std::max(result, values[i]);
+  return result;
+}
+
+}  // namespace bcdyn::sim

@@ -1,0 +1,45 @@
+// Block-level parallel primitives, mirroring the device-side building
+// blocks the paper relies on: bitonic sort, Blelloch exclusive scan, and
+// the sort+flag+scan+scatter duplicate-removal pipeline of §III.A
+// (following Merrill et al. [19]).
+//
+// Each primitive both performs the operation and charges the block context
+// with the SIMT rounds a CUDA implementation would execute, so the cost of
+// remove_duplicates() shows up in the node-parallel kernel's modeled time
+// exactly where the paper says it belongs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/block_context.hpp"
+#include "util/types.hpp"
+
+namespace bcdyn::sim {
+
+/// In-place ascending bitonic sort of values[0..len). Pads virtually to the
+/// next power of two. O(len log^2 len) compare-exchanges.
+void block_bitonic_sort(BlockContext& ctx, std::vector<VertexId>& values,
+                        std::size_t len);
+
+/// In-place exclusive prefix sum of values[0..len); returns the total.
+/// Work-efficient up-sweep/down-sweep, charged per stage.
+std::uint32_t block_exclusive_scan(BlockContext& ctx,
+                                   std::vector<std::uint32_t>& values,
+                                   std::size_t len);
+
+/// Removes duplicates from queue[0..len) (paper §III.A): bitonic sort,
+/// neighbor-compare flags, exclusive scan, scatter. Returns the new length;
+/// queue[0..new_len) holds the unique elements in ascending order.
+std::size_t block_remove_duplicates(BlockContext& ctx,
+                                    std::vector<VertexId>& queue,
+                                    std::size_t len,
+                                    std::vector<VertexId>& scratch,
+                                    std::vector<std::uint32_t>& flags);
+
+/// Parallel max-reduction over values[0..len); returns the maximum
+/// (or `identity` when the range is empty).
+Dist block_reduce_max(BlockContext& ctx, const std::vector<Dist>& values,
+                      std::size_t len, Dist identity);
+
+}  // namespace bcdyn::sim

@@ -1,0 +1,96 @@
+#include "graph/bfs.hpp"
+
+#include <cmath>
+
+namespace bcdyn {
+
+BfsResult bfs(const CSRGraph& g, VertexId source) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  BfsResult r;
+  r.dist.assign(n, kInfDist);
+  r.sigma.assign(n, 0.0);
+  r.order.reserve(n);
+
+  r.dist[static_cast<std::size_t>(source)] = 0;
+  r.sigma[static_cast<std::size_t>(source)] = 1.0;
+  r.order.push_back(source);
+
+  for (std::size_t head = 0; head < r.order.size(); ++head) {
+    const VertexId v = r.order[head];
+    const Dist dv = r.dist[static_cast<std::size_t>(v)];
+    for (VertexId w : g.neighbors(v)) {
+      const auto wi = static_cast<std::size_t>(w);
+      if (r.dist[wi] == kInfDist) {
+        r.dist[wi] = dv + 1;
+        r.order.push_back(w);
+      }
+      if (r.dist[wi] == dv + 1) {
+        r.sigma[wi] += r.sigma[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<Dist> bfs_distances(const CSRGraph& g, VertexId source) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<Dist> dist(n, kInfDist);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  dist[static_cast<std::size_t>(source)] = 0;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    const Dist dv = dist[static_cast<std::size_t>(v)];
+    for (VertexId w : g.neighbors(v)) {
+      auto& dw = dist[static_cast<std::size_t>(w)];
+      if (dw == kInfDist) {
+        dw = dv + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+Dist eccentricity(const CSRGraph& g, VertexId source) {
+  Dist ecc = 0;
+  for (Dist d : bfs_distances(g, source)) {
+    if (d != kInfDist && d > ecc) ecc = d;
+  }
+  return ecc;
+}
+
+bool check_sssp_invariants(const CSRGraph& g, VertexId source,
+                           const std::vector<Dist>& dist,
+                           const std::vector<Sigma>& sigma) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  if (dist.size() != n || sigma.size() != n) return false;
+  if (dist[static_cast<std::size_t>(source)] != 0) return false;
+  if (sigma[static_cast<std::size_t>(source)] != 1.0) return false;
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    for (VertexId w : g.neighbors(v)) {
+      const auto wi = static_cast<std::size_t>(w);
+      const bool v_inf = dist[vi] == kInfDist;
+      const bool w_inf = dist[wi] == kInfDist;
+      if (v_inf != w_inf) return false;  // edge across component boundary
+      if (!v_inf && std::abs(dist[vi] - dist[wi]) > 1) return false;
+    }
+    if (v == source) continue;
+    if (dist[vi] == kInfDist) {
+      if (sigma[vi] != 0.0) return false;
+      continue;
+    }
+    Sigma expect = 0.0;
+    for (VertexId w : g.neighbors(v)) {
+      const auto wi = static_cast<std::size_t>(w);
+      if (dist[wi] + 1 == dist[vi]) expect += sigma[wi];
+    }
+    if (expect != sigma[vi]) return false;
+  }
+  return true;
+}
+
+}  // namespace bcdyn

@@ -1,0 +1,36 @@
+// Sequential breadth-first search utilities: distance maps, shortest-path
+// counts, and BFS-tree invariant checks used throughout the tests.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace bcdyn {
+
+struct BfsResult {
+  std::vector<Dist> dist;     // kInfDist if unreachable
+  std::vector<Sigma> sigma;   // number of shortest source->v paths
+  std::vector<VertexId> order;  // vertices in dequeue order (level order)
+};
+
+/// Level-synchronous BFS from `source`; fills distances, shortest-path
+/// counts, and the traversal order.
+BfsResult bfs(const CSRGraph& g, VertexId source);
+
+/// Distance map only (cheaper).
+std::vector<Dist> bfs_distances(const CSRGraph& g, VertexId source);
+
+/// Eccentricity of `source` (max finite distance).
+Dist eccentricity(const CSRGraph& g, VertexId source);
+
+/// Validates the BFS-tree invariants for a (dist, sigma) pair against g:
+///  - dist[source]==0, sigma[source]==1;
+///  - every edge spans at most one level;
+///  - sigma[v] equals the sum of sigma over neighbors one level closer.
+bool check_sssp_invariants(const CSRGraph& g, VertexId source,
+                           const std::vector<Dist>& dist,
+                           const std::vector<Sigma>& sigma);
+
+}  // namespace bcdyn

@@ -1,0 +1,38 @@
+#include "graph/builder.hpp"
+
+#include <utility>
+
+namespace bcdyn {
+
+GraphBuilder::GraphBuilder(VertexId num_vertices) {
+  coo_.num_vertices = num_vertices;
+}
+
+std::uint64_t GraphBuilder::key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+bool GraphBuilder::add_edge(VertexId u, VertexId v) {
+  if (u == v) return false;
+  if (u < 0 || v < 0 || u >= coo_.num_vertices || v >= coo_.num_vertices) {
+    return false;
+  }
+  if (!seen_.insert(key(u, v)).second) return false;
+  coo_.add_edge(u, v);
+  return true;
+}
+
+bool GraphBuilder::has_edge(VertexId u, VertexId v) const {
+  if (u == v) return true;  // treat self loops as always-present (never added)
+  return seen_.count(key(u, v)) > 0;
+}
+
+COOGraph GraphBuilder::take_coo() && { return std::move(coo_); }
+
+CSRGraph GraphBuilder::build_csr() && {
+  return CSRGraph::from_coo(std::move(coo_));
+}
+
+}  // namespace bcdyn

@@ -1,0 +1,38 @@
+// Incremental builder used by the generators: O(1) duplicate detection while
+// edges are being produced, so generator output has exactly the requested
+// edge multiplicity without a post-hoc canonicalization pass.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "graph/coo.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace bcdyn {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId num_vertices);
+
+  VertexId num_vertices() const { return coo_.num_vertices; }
+  std::size_t num_edges() const { return coo_.edges.size(); }
+
+  /// Adds the undirected edge {u, v}. Returns false (and adds nothing) for
+  /// self loops, duplicates, or out-of-range endpoints.
+  bool add_edge(VertexId u, VertexId v);
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  COOGraph take_coo() &&;
+  CSRGraph build_csr() &&;
+
+ private:
+  static std::uint64_t key(VertexId u, VertexId v);
+
+  COOGraph coo_;
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace bcdyn

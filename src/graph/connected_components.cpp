@@ -1,0 +1,76 @@
+#include "graph/connected_components.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+namespace bcdyn {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+
+  VertexId find(VertexId x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      auto& p = parent_[static_cast<std::size_t>(x)];
+      p = parent_[static_cast<std::size_t>(p)];  // path halving
+      x = p;
+    }
+    return x;
+  }
+
+  void unite(VertexId a, VertexId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);  // keep the smaller id as representative
+    parent_[static_cast<std::size_t>(b)] = a;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+template <typename EdgeVisitor>
+Components components_impl(VertexId n, EdgeVisitor&& for_each_edge) {
+  UnionFind uf(static_cast<std::size_t>(n));
+  for_each_edge([&](VertexId u, VertexId v) { uf.unite(u, v); });
+  Components c;
+  c.label.resize(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    c.label[static_cast<std::size_t>(v)] = uf.find(v);
+    if (c.label[static_cast<std::size_t>(v)] == v) ++c.count;
+  }
+  return c;
+}
+
+}  // namespace
+
+Components connected_components(const CSRGraph& g) {
+  return components_impl(g.num_vertices(), [&](auto&& unite) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (VertexId w : g.neighbors(v)) {
+        if (v < w) unite(v, w);
+      }
+    }
+  });
+}
+
+Components connected_components(const COOGraph& coo) {
+  return components_impl(coo.num_vertices, [&](auto&& unite) {
+    for (const auto& [u, v] : coo.edges) unite(u, v);
+  });
+}
+
+VertexId largest_component_size(const Components& c) {
+  std::unordered_map<VertexId, VertexId> sizes;
+  for (VertexId rep : c.label) ++sizes[rep];
+  VertexId best = 0;
+  for (const auto& [_, size] : sizes) best = std::max(best, size);
+  return best;
+}
+
+}  // namespace bcdyn

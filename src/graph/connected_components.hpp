@@ -1,0 +1,29 @@
+// Connected-component labelling (union-find) for graph diagnostics and for
+// the generators' "attach stray components" post-pass.
+#pragma once
+
+#include <vector>
+
+#include "graph/coo.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace bcdyn {
+
+struct Components {
+  std::vector<VertexId> label;  // label[v] = representative vertex
+  VertexId count = 0;
+
+  bool same(VertexId u, VertexId v) const {
+    return label[static_cast<std::size_t>(u)] ==
+           label[static_cast<std::size_t>(v)];
+  }
+};
+
+Components connected_components(const CSRGraph& g);
+Components connected_components(const COOGraph& coo);
+
+/// Size of the largest component.
+VertexId largest_component_size(const Components& c);
+
+}  // namespace bcdyn

@@ -1,0 +1,25 @@
+#include "graph/coo.hpp"
+
+#include <algorithm>
+
+namespace bcdyn {
+
+std::size_t COOGraph::canonicalize() {
+  const std::size_t before = edges.size();
+  for (auto& [u, v] : edges) {
+    if (u > v) std::swap(u, v);
+  }
+  std::erase_if(edges, [](const auto& e) { return e.first == e.second; });
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return before - edges.size();
+}
+
+bool COOGraph::endpoints_valid() const {
+  for (const auto& [u, v] : edges) {
+    if (u < 0 || v < 0 || u >= num_vertices || v >= num_vertices) return false;
+  }
+  return true;
+}
+
+}  // namespace bcdyn

@@ -1,0 +1,31 @@
+// Coordinate-format edge list: the interchange format between generators,
+// file readers, and the CSR builder.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bcdyn {
+
+/// An undirected edge list. Each {u, v} pair represents one undirected edge;
+/// callers may include duplicates and self loops, which the builder removes.
+struct COOGraph {
+  VertexId num_vertices = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+
+  std::size_t num_edges() const { return edges.size(); }
+
+  void add_edge(VertexId u, VertexId v) { edges.emplace_back(u, v); }
+
+  /// Canonicalize: drop self loops, order endpoints (u < v), sort, and
+  /// remove duplicate edges. Returns the number of edges removed.
+  std::size_t canonicalize();
+
+  /// True if every endpoint is inside [0, num_vertices).
+  bool endpoints_valid() const;
+};
+
+}  // namespace bcdyn

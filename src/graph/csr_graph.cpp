@@ -1,0 +1,82 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace bcdyn {
+
+CSRGraph CSRGraph::from_coo(COOGraph coo) {
+  if (!coo.endpoints_valid()) {
+    throw std::invalid_argument("COOGraph has endpoints outside [0, n)");
+  }
+  coo.canonicalize();
+
+  CSRGraph g;
+  g.num_vertices_ = coo.num_vertices;
+  const auto n = static_cast<std::size_t>(coo.num_vertices);
+  const std::size_t num_arcs = coo.edges.size() * 2;
+
+  std::vector<EdgeId> counts(n, 0);
+  for (const auto& [u, v] : coo.edges) {
+    ++counts[static_cast<std::size_t>(u)];
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  g.row_offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.row_offsets_[i + 1] = g.row_offsets_[i] + counts[i];
+  }
+
+  g.col_indices_.resize(num_arcs);
+  std::vector<EdgeId> cursor(g.row_offsets_.begin(), g.row_offsets_.end() - 1);
+  for (const auto& [u, v] : coo.edges) {
+    g.col_indices_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
+    g.col_indices_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = u;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(g.col_indices_.begin() + g.row_offsets_[v],
+              g.col_indices_.begin() + g.row_offsets_[v + 1]);
+  }
+
+  g.arc_src_.resize(num_arcs);
+  g.arc_dst_ = g.col_indices_;
+  for (std::size_t v = 0; v < n; ++v) {
+    for (EdgeId a = g.row_offsets_[v]; a < g.row_offsets_[v + 1]; ++a) {
+      g.arc_src_[static_cast<std::size_t>(a)] = static_cast<VertexId>(v);
+    }
+  }
+  return g;
+}
+
+bool CSRGraph::has_edge(VertexId u, VertexId v) const {
+  assert(u >= 0 && u < num_vertices_ && v >= 0 && v < num_vertices_);
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+CSRGraph CSRGraph::with_edge(VertexId u, VertexId v) const {
+  COOGraph coo = to_coo();
+  coo.add_edge(u, v);
+  return from_coo(std::move(coo));
+}
+
+CSRGraph CSRGraph::without_edge(VertexId u, VertexId v) const {
+  COOGraph coo = to_coo();
+  if (u > v) std::swap(u, v);
+  std::erase(coo.edges, std::pair{u, v});
+  return from_coo(std::move(coo));
+}
+
+COOGraph CSRGraph::to_coo() const {
+  COOGraph coo;
+  coo.num_vertices = num_vertices_;
+  coo.edges.reserve(static_cast<std::size_t>(num_edges()));
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (VertexId w : neighbors(v)) {
+      if (v < w) coo.add_edge(v, w);
+    }
+  }
+  return coo;
+}
+
+}  // namespace bcdyn

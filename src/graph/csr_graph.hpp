@@ -1,0 +1,68 @@
+// Immutable compressed-sparse-row graph.
+//
+// Undirected graphs are stored with both arc directions so that
+// neighbors(v) is a contiguous span. An arc list (the "edge-parallel view")
+// is kept alongside: arc_src[a] -> arc_dst[a] for every directed arc, which
+// is exactly the iteration space of the paper's edge-parallel kernels.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/coo.hpp"
+#include "util/types.hpp"
+
+namespace bcdyn {
+
+class CSRGraph {
+ public:
+  CSRGraph() = default;
+
+  /// Builds from an undirected edge list. The input is canonicalized
+  /// (self loops and duplicates dropped).
+  static CSRGraph from_coo(COOGraph coo);
+
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// Number of undirected edges (m). The arc list has 2m entries.
+  EdgeId num_edges() const { return static_cast<EdgeId>(arc_dst_.size()) / 2; }
+
+  EdgeId num_arcs() const { return static_cast<EdgeId>(arc_dst_.size()); }
+
+  VertexId degree(VertexId v) const {
+    return static_cast<VertexId>(row_offsets_[v + 1] - row_offsets_[v]);
+  }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {col_indices_.data() + row_offsets_[v],
+            col_indices_.data() + row_offsets_[v + 1]};
+  }
+
+  /// Directed-arc view: arc a goes arc_src()[a] -> arc_dst()[a].
+  std::span<const VertexId> arc_src() const { return arc_src_; }
+  std::span<const VertexId> arc_dst() const { return arc_dst_; }
+
+  std::span<const EdgeId> row_offsets() const { return row_offsets_; }
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// Returns a new graph with the given undirected edge added. O(n + m);
+  /// used by tests and the recompute baseline, not by the incremental path.
+  CSRGraph with_edge(VertexId u, VertexId v) const;
+
+  /// Returns a new graph with the given undirected edge removed (if present).
+  CSRGraph without_edge(VertexId u, VertexId v) const;
+
+  /// Convert back to a canonical undirected edge list.
+  COOGraph to_coo() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<EdgeId> row_offsets_;    // size n+1
+  std::vector<VertexId> col_indices_;  // size 2m, sorted per row
+  std::vector<VertexId> arc_src_;      // size 2m
+  std::vector<VertexId> arc_dst_;      // size 2m (== col_indices_)
+};
+
+}  // namespace bcdyn

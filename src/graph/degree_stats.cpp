@@ -1,0 +1,65 @@
+#include "graph/degree_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "graph/bfs.hpp"
+#include "graph/connected_components.hpp"
+
+namespace bcdyn {
+
+GraphStats compute_stats(const CSRGraph& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  if (s.num_vertices == 0) return s;
+
+  s.min_degree = g.degree(0);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId d = g.degree(v);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.num_isolated;
+    sum += d;
+    sum_sq += static_cast<double>(d) * d;
+  }
+  s.avg_degree = sum / s.num_vertices;
+  s.degree_stddev =
+      std::sqrt(std::max(0.0, sum_sq / s.num_vertices - s.avg_degree * s.avg_degree));
+
+  const Components c = connected_components(g);
+  s.num_components = c.count;
+  s.largest_component = largest_component_size(c);
+
+  // Two-sweep diameter estimate: BFS from vertex 0's farthest vertex.
+  VertexId far = 0;
+  {
+    const auto dist = bfs_distances(g, 0);
+    Dist best = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const Dist d = dist[static_cast<std::size_t>(v)];
+      if (d != kInfDist && d >= best) {
+        best = d;
+        far = v;
+      }
+    }
+  }
+  s.approx_diameter = eccentricity(g, far);
+  return s;
+}
+
+std::string GraphStats::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%d m=%lld deg[min=%d avg=%.2f max=%d sd=%.2f] comps=%d "
+                "largest=%d diam~%d",
+                num_vertices, static_cast<long long>(num_edges), min_degree,
+                avg_degree, max_degree, degree_stddev, num_components,
+                largest_component, approx_diameter);
+  return buf;
+}
+
+}  // namespace bcdyn

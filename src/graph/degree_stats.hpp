@@ -1,0 +1,29 @@
+// Degree-distribution and structure diagnostics printed by the bench
+// harness (Table I analogue) and asserted by generator tests.
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace bcdyn {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  VertexId min_degree = 0;
+  VertexId max_degree = 0;
+  double avg_degree = 0.0;
+  double degree_stddev = 0.0;
+  VertexId num_isolated = 0;
+  VertexId num_components = 0;
+  VertexId largest_component = 0;
+  Dist approx_diameter = 0;  // eccentricity from a far vertex (2-sweep)
+
+  std::string to_string() const;
+};
+
+GraphStats compute_stats(const CSRGraph& g);
+
+}  // namespace bcdyn

@@ -1,0 +1,127 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bcdyn::io {
+
+namespace {
+
+[[noreturn]] void fail(const char* what, std::size_t line) {
+  throw std::runtime_error(std::string(what) + " at line " +
+                           std::to_string(line));
+}
+
+bool next_content_line(std::istream& in, std::string& line, std::size_t& lineno) {
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t i = line.find_first_not_of(" \t\r");
+    if (i == std::string::npos) continue;       // blank
+    if (line[i] == '%' || line[i] == '#') continue;  // comment
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+COOGraph read_metis(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+  if (!next_content_line(in, line, lineno)) fail("missing METIS header", lineno);
+
+  std::istringstream header(line);
+  long long n = 0;
+  long long m = 0;
+  long long fmt = 0;
+  header >> n >> m;
+  if (!header) fail("malformed METIS header", lineno);
+  header >> fmt;  // optional; absent -> 0
+  if (fmt != 0) fail("weighted METIS graphs are not supported", lineno);
+  if (n < 0 || m < 0) fail("negative sizes in METIS header", lineno);
+
+  COOGraph coo;
+  coo.num_vertices = static_cast<VertexId>(n);
+  coo.edges.reserve(static_cast<std::size_t>(m));
+
+  // Adjacency lines are 1-indexed; vertex v's line may legitimately be blank
+  // (isolated vertex), so blank lines count as adjacency rows here.
+  long long v = 0;
+  while (v < n && std::getline(in, line)) {
+    ++lineno;
+    std::size_t i = line.find_first_not_of(" \t\r");
+    if (i != std::string::npos && line[i] == '%') continue;  // comment row
+    std::istringstream row(line);
+    long long w = 0;
+    while (row >> w) {
+      if (w < 1 || w > n) fail("neighbor id out of range", lineno);
+      if (w - 1 > v) coo.add_edge(static_cast<VertexId>(v),
+                                  static_cast<VertexId>(w - 1));
+    }
+    ++v;
+  }
+  if (v != n) fail("fewer adjacency rows than vertices", lineno);
+  if (static_cast<long long>(coo.edges.size()) != m) {
+    // METIS m counts undirected edges; each appears in both endpoint rows
+    // and we kept only the v < w direction. Tolerate self loops / asymmetry
+    // by canonicalizing, but a large mismatch means a broken file.
+    coo.canonicalize();
+    if (static_cast<long long>(coo.edges.size()) > m) {
+      fail("edge count exceeds METIS header", lineno);
+    }
+  }
+  return coo;
+}
+
+COOGraph read_edge_list(std::istream& in) {
+  COOGraph coo;
+  std::string line;
+  std::size_t lineno = 0;
+  VertexId max_v = -1;
+  while (next_content_line(in, line, lineno)) {
+    std::istringstream row(line);
+    long long u = 0;
+    long long v = 0;
+    row >> u >> v;
+    if (!row) fail("malformed edge line", lineno);
+    if (u < 0 || v < 0) fail("negative vertex id", lineno);
+    coo.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    max_v = std::max({max_v, static_cast<VertexId>(u), static_cast<VertexId>(v)});
+  }
+  coo.num_vertices = max_v + 1;
+  return coo;
+}
+
+CSRGraph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  const bool metis = path.ends_with(".graph") || path.ends_with(".metis");
+  COOGraph coo = metis ? read_metis(in) : read_edge_list(in);
+  return CSRGraph::from_coo(std::move(coo));
+}
+
+void write_metis(std::ostream& out, const CSRGraph& g) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    bool first = true;
+    for (VertexId w : g.neighbors(v)) {
+      if (!first) out << ' ';
+      out << (w + 1);
+      first = false;
+    }
+    out << '\n';
+  }
+}
+
+void write_edge_list(std::ostream& out, const CSRGraph& g) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId w : g.neighbors(v)) {
+      if (v < w) out << v << ' ' << w << '\n';
+    }
+  }
+}
+
+}  // namespace bcdyn::io

@@ -1,0 +1,30 @@
+// Graph file I/O.
+//
+// Two formats are supported:
+//  - METIS / DIMACS-10 (.graph or .metis): the format the paper's inputs
+//    ship in, so real DIMACS-10 downloads can be fed to every bench via
+//    --graph-file.
+//  - whitespace-separated edge list (.txt/.el): one "u v" pair per line,
+//    0-indexed, '#' or '%' comments.
+// Both readers validate structure and throw std::runtime_error with a
+// line number on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/coo.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace bcdyn::io {
+
+COOGraph read_metis(std::istream& in);
+COOGraph read_edge_list(std::istream& in);
+
+/// Dispatches on extension: .graph/.metis -> METIS, otherwise edge list.
+CSRGraph load_graph(const std::string& path);
+
+void write_metis(std::ostream& out, const CSRGraph& g);
+void write_edge_list(std::ostream& out, const CSRGraph& g);
+
+}  // namespace bcdyn::io

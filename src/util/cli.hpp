@@ -1,0 +1,36 @@
+// Minimal --key=value command line parser shared by the bench/example
+// binaries. Unknown flags are an error so typos in sweep scripts fail fast.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bcdyn::util {
+
+class Cli {
+ public:
+  /// Parses argv of the form: --key=value --flag (flag means "true").
+  /// Throws std::invalid_argument on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated list of integers, e.g. --blocks=1,2,4,8.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& key, std::vector<std::int64_t> fallback) const;
+
+  /// Keys the caller never read; useful to reject typos.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace bcdyn::util

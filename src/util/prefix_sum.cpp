@@ -1,0 +1,14 @@
+#include "util/prefix_sum.hpp"
+
+namespace bcdyn::util {
+
+std::vector<std::int64_t> offsets_from_counts(
+    std::span<const std::int64_t> counts) {
+  std::vector<std::int64_t> offsets(counts.size() + 1, 0);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    offsets[i + 1] = offsets[i] + counts[i];
+  }
+  return offsets;
+}
+
+}  // namespace bcdyn::util

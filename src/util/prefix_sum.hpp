@@ -1,0 +1,39 @@
+// Host-side scan utilities used by graph construction and the simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bcdyn::util {
+
+/// In-place exclusive prefix sum; returns the total (sum of all inputs).
+/// values[i] becomes sum of the original values[0..i).
+template <typename T>
+T exclusive_prefix_sum(std::span<T> values) {
+  T running{};
+  for (auto& v : values) {
+    T next = running + v;
+    v = running;
+    running = next;
+  }
+  return running;
+}
+
+/// In-place inclusive prefix sum; returns the total.
+template <typename T>
+T inclusive_prefix_sum(std::span<T> values) {
+  T running{};
+  for (auto& v : values) {
+    running += v;
+    v = running;
+  }
+  return running;
+}
+
+/// Out-of-place exclusive scan returning a vector one longer than the input,
+/// with the total in the final slot (CSR row-offset shape).
+std::vector<std::int64_t> offsets_from_counts(std::span<const std::int64_t> counts);
+
+}  // namespace bcdyn::util

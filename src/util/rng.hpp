@@ -1,0 +1,71 @@
+// Small, fast, deterministic random number generators.
+//
+// All randomness in the library flows through these so that every graph,
+// source set, and edge stream is reproducible from a single seed, on any
+// platform (std::mt19937 + distributions are not guaranteed to be portable
+// across standard library implementations).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace bcdyn::util {
+
+/// SplitMix64: used to expand a single seed into independent streams.
+struct SplitMix64 {
+  std::uint64_t state = 0;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// xoshiro256** — the library's workhorse generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). Bias-free (Lemire's method with rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p);
+
+  /// Derive an independent generator (for per-worker streams).
+  Rng split();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  // UniformRandomBitGenerator interface so std algorithms accept Rng.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bcdyn::util

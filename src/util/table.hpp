@@ -1,0 +1,36 @@
+// Plain-text table printer for the benchmark harnesses. Renders the same
+// rows the paper's tables report, aligned for terminal reading, and can also
+// emit CSV for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bcdyn::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for numeric cells.
+  static std::string fmt(double value, int precision = 4);
+  static std::string fmt_speedup(double value);
+
+  /// Render with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no alignment, comma-escaped).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bcdyn::util

@@ -1,0 +1,55 @@
+// Fixed-size worker pool.
+//
+// The GPU simulator uses one worker per simulated streaming multiprocessor
+// so that independent thread blocks genuinely run concurrently when host
+// cores are available. On a single-core host the pool still provides the
+// same semantics (blocks complete in scheduler order); correctness never
+// depends on physical parallelism.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bcdyn::util {
+
+class ThreadPool {
+ public:
+  /// Creates `num_workers` threads. `num_workers == 0` is a valid degenerate
+  /// pool where submit() runs tasks inline (useful for deterministic tests).
+  explicit ThreadPool(std::size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t num_workers() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across the pool, blocking until all complete.
+/// Work is divided into contiguous chunks, one per worker.
+void parallel_for_chunked(ThreadPool& pool, std::size_t n,
+                          const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace bcdyn::util

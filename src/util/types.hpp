@@ -1,0 +1,29 @@
+// Core scalar types and constants shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bcdyn {
+
+/// Vertex identifier. Graphs up to ~2 billion vertices.
+using VertexId = std::int32_t;
+
+/// Edge (arc) identifier / offset into CSR arrays.
+using EdgeId = std::int64_t;
+
+/// Distance in unweighted BFS levels.
+using Dist = std::int32_t;
+
+/// Number of shortest paths. Double keeps the update arithmetic exact for
+/// counts below 2^53 and gracefully degrades (instead of overflowing) above.
+using Sigma = double;
+
+/// Sentinel for "unreachable". Chosen so that kInfDist + 1 does not overflow
+/// and |a - b| comparisons against small thresholds behave as expected.
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max() / 4;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kNoVertex = -1;
+
+}  // namespace bcdyn

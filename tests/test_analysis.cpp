@@ -1,0 +1,116 @@
+// Analysis layer: scenario stats, touched recorder, and the experiment
+// harness (stream construction + engine runners agreeing end to end).
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "analysis/scenario_stats.hpp"
+#include "analysis/touched_recorder.hpp"
+#include "gen/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace bcdyn::analysis {
+namespace {
+
+TEST(ScenarioStats, RecordAndFractions) {
+  ScenarioStats s;
+  s.record(UpdateCase::kNoWork);
+  s.record(UpdateCase::kNoWork);
+  s.record(UpdateCase::kAdjacent);
+  s.record(UpdateCase::kFar);
+  EXPECT_EQ(s.total(), 4u);
+  EXPECT_EQ(s.work_requiring(), 2u);
+  EXPECT_DOUBLE_EQ(s.fraction_case(1), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_case(2), 0.25);
+  EXPECT_DOUBLE_EQ(s.case2_share_of_work(), 0.5);
+  EXPECT_FALSE(s.to_string().empty());
+
+  ScenarioStats t;
+  t.record(UpdateCase::kAdjacent);
+  s += t;
+  EXPECT_EQ(s.case2, 2u);
+  EXPECT_DOUBLE_EQ(ScenarioStats{}.fraction_case(1), 0.0);
+}
+
+TEST(TouchedRecorder, StatsAndOrdering) {
+  TouchedRecorder rec(100);
+  rec.record(1);
+  rec.record(35);
+  rec.record(2);
+  EXPECT_EQ(rec.count(), 3u);
+  EXPECT_DOUBLE_EQ(rec.max_fraction(), 0.35);
+  const auto sorted = rec.sorted_fractions();
+  EXPECT_DOUBLE_EQ(sorted[0], 0.01);
+  EXPECT_DOUBLE_EQ(sorted[2], 0.35);
+  EXPECT_DOUBLE_EQ(rec.median_fraction(), 0.02);
+  EXPECT_NEAR(rec.share_below(0.02), 2.0 / 3.0, 1e-12);
+  EXPECT_FALSE(rec.summary().empty());
+  EXPECT_DOUBLE_EQ(TouchedRecorder(10).max_fraction(), 0.0);
+}
+
+TEST(Experiment, StreamRemovalAndReinsertRestoresGraph) {
+  const auto g = test::gnp_graph(60, 0.08, 13);
+  const auto stream = make_insertion_stream(g, {.num_insertions = 20, .seed = 3});
+  EXPECT_EQ(stream.insertions.size(), 20u);
+  EXPECT_EQ(stream.base.num_edges(), g.num_edges() - 20);
+  CSRGraph rebuilt = stream.base;
+  for (const auto& [u, v] : stream.insertions) {
+    EXPECT_FALSE(rebuilt.has_edge(u, v));
+    rebuilt = rebuilt.with_edge(u, v);
+  }
+  EXPECT_EQ(rebuilt.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(rebuilt.degree(v), g.degree(v));
+  }
+}
+
+TEST(Experiment, StreamClampedToEdgeCount) {
+  const auto g = test::path_graph(5);  // 4 edges
+  const auto stream = make_insertion_stream(g, {.num_insertions = 100, .seed = 1});
+  EXPECT_EQ(stream.insertions.size(), 4u);
+  EXPECT_EQ(stream.base.num_edges(), 0);
+}
+
+TEST(Experiment, AllRunnersAgreeOnFinalScores) {
+  const auto g = gen::small_world(150, 3, 0.1, 21);
+  const auto stream = make_insertion_stream(g, {.num_insertions = 10, .seed = 5});
+  ApproxConfig cfg{.num_sources = 12, .seed = 9};
+
+  TouchedRecorder touched_cpu(150);
+  const auto cpu = run_cpu_dynamic(stream, cfg, &touched_cpu);
+  const auto node = run_gpu_dynamic(stream, cfg, Parallelism::kNode,
+                                    sim::DeviceSpec::tesla_c2075());
+  const auto edge = run_gpu_dynamic(stream, cfg, Parallelism::kEdge,
+                                    sim::DeviceSpec::tesla_c2075());
+
+  EXPECT_LT(max_abs_diff(cpu.final_bc, node.final_bc), 1e-7);
+  EXPECT_LT(max_abs_diff(cpu.final_bc, edge.final_bc), 1e-7);
+
+  // Scenario distributions are engine-independent.
+  EXPECT_EQ(cpu.scenarios.case1, node.scenarios.case1);
+  EXPECT_EQ(cpu.scenarios.case2, node.scenarios.case2);
+  EXPECT_EQ(cpu.scenarios.case3, edge.scenarios.case3);
+  EXPECT_EQ(cpu.scenarios.total(), 10u * 12u);
+
+  // Timing summaries are internally consistent.
+  for (const auto* r : {&cpu, &node, &edge}) {
+    EXPECT_GE(r->slowest_update, r->average_update);
+    EXPECT_GE(r->average_update, r->fastest_update);
+    EXPECT_GT(r->modeled_seconds, 0.0);
+  }
+  EXPECT_GT(touched_cpu.count(), 0u);
+
+  // Final scores equal a static recompute of the full graph.
+  std::vector<double> static_bc;
+  run_gpu_static_recompute(g, cfg, Parallelism::kNode,
+                           sim::DeviceSpec::tesla_c2075(), &static_bc);
+  EXPECT_LT(max_abs_diff(cpu.final_bc, static_bc), 1e-7);
+}
+
+TEST(Experiment, MaxAbsDiffEdgeCases) {
+  EXPECT_DOUBLE_EQ(max_abs_diff({1.0, 2.0}, {1.0, 2.5}), 0.5);
+  EXPECT_TRUE(std::isinf(max_abs_diff({1.0}, {1.0, 2.0})));
+  EXPECT_DOUBLE_EQ(max_abs_diff({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace bcdyn::analysis

@@ -1,0 +1,154 @@
+// Static BC: Brandes vs the brute-force oracle, plus structural properties.
+#include <gtest/gtest.h>
+
+#include "bc/brandes.hpp"
+#include "bc/reference.hpp"
+#include "gen/generators.hpp"
+#include "graph/bfs.hpp"
+#include "test_helpers.hpp"
+
+namespace bcdyn {
+namespace {
+
+using test::expect_near_spans;
+
+TEST(Brandes, PathGraphClosedForm) {
+  // On a path 0-1-2-...-(n-1), BC(v) = 2 * (v+1) * (n-v-2)... specifically
+  // for undirected paths counting ordered (s, t) pairs: 2 * left * right.
+  const VertexId n = 9;
+  const auto g = test::path_graph(n);
+  const auto bc = betweenness_exact(g);
+  for (VertexId v = 0; v < n; ++v) {
+    const double left = v;
+    const double right = n - 1 - v;
+    EXPECT_DOUBLE_EQ(bc[static_cast<std::size_t>(v)], 2.0 * left * right) << v;
+  }
+}
+
+TEST(Brandes, StarGraphClosedForm) {
+  // Hub lies on every pair of leaves: BC(hub) = (n-1)(n-2) ordered pairs.
+  const VertexId n = 12;
+  const auto g = test::star_graph(n);
+  const auto bc = betweenness_exact(g);
+  EXPECT_DOUBLE_EQ(bc[0], double(n - 1) * double(n - 2));
+  for (VertexId v = 1; v < n; ++v) {
+    EXPECT_DOUBLE_EQ(bc[static_cast<std::size_t>(v)], 0.0);
+  }
+}
+
+TEST(Brandes, CompleteGraphAllZero) {
+  const auto g = test::complete_graph(7);
+  for (double b : betweenness_exact(g)) EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+TEST(Brandes, CycleGraphUniform) {
+  const auto g = test::cycle_graph(8);
+  const auto bc = betweenness_exact(g);
+  for (std::size_t v = 1; v < bc.size(); ++v) {
+    EXPECT_NEAR(bc[v], bc[0], 1e-9);
+  }
+  EXPECT_GT(bc[0], 0.0);
+}
+
+TEST(Brandes, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = test::gnp_graph(40, 0.1, seed);
+    const auto fast = betweenness_exact(g);
+    const auto slow = reference_betweenness(g);
+    expect_near_spans(fast, slow, 1e-9, "bc");
+  }
+}
+
+TEST(Brandes, MatchesBruteForceDisconnected) {
+  // Two G(20, .2) components glued into one vertex set, no cross edges.
+  COOGraph coo;
+  coo.num_vertices = 40;
+  util::Rng rng(99);
+  for (VertexId u = 0; u < 20; ++u) {
+    for (VertexId v = u + 1; v < 20; ++v) {
+      if (rng.next_bool(0.2)) {
+        coo.add_edge(u, v);
+        coo.add_edge(u + 20, v + 20);
+      }
+    }
+  }
+  const auto g = CSRGraph::from_coo(std::move(coo));
+  expect_near_spans(betweenness_exact(g), reference_betweenness(g), 1e-9,
+                    "bc");
+}
+
+TEST(Brandes, ApproximateSubsetMatchesBruteForce) {
+  const auto g = test::gnp_graph(50, 0.08, 3);
+  ApproxConfig cfg{.num_sources = 12, .seed = 5};
+  BcStore store(g.num_vertices(), cfg);
+  brandes_all(g, store);
+  const auto expected = reference_betweenness(g, store.sources());
+  expect_near_spans(store.bc(), expected, 1e-9, "approx bc");
+}
+
+TEST(Brandes, StoreRowsSatisfySsspInvariants) {
+  const auto g = gen::small_world(200, 3, 0.2, 11);
+  ApproxConfig cfg{.num_sources = 16, .seed = 2};
+  BcStore store(g.num_vertices(), cfg);
+  brandes_all(g, store);
+  for (int si = 0; si < store.num_sources(); ++si) {
+    const auto d = store.dist_row(si);
+    const auto sig = store.sigma_row(si);
+    EXPECT_TRUE(check_sssp_invariants(
+        g, store.sources()[static_cast<std::size_t>(si)],
+        std::vector<Dist>(d.begin(), d.end()),
+        std::vector<Sigma>(sig.begin(), sig.end())));
+  }
+}
+
+TEST(Brandes, DependencyMatchesBruteForcePerSource) {
+  const auto g = test::gnp_graph(30, 0.15, 17);
+  std::vector<Dist> dist(30);
+  std::vector<Sigma> sigma(30);
+  std::vector<double> delta(30);
+  for (VertexId s : {VertexId{0}, VertexId{7}, VertexId{29}}) {
+    brandes_source(g, s, dist, sigma, delta, {});
+    const auto expected = reference_dependency(g, s);
+    for (std::size_t v = 0; v < expected.size(); ++v) {
+      if (v == static_cast<std::size_t>(s)) continue;
+      EXPECT_NEAR(delta[v], expected[v], 1e-9) << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+TEST(BcStore, ExactModeUsesAllVertices) {
+  BcStore store(10, ApproxConfig{.num_sources = 0, .seed = 1});
+  EXPECT_TRUE(store.exact());
+  EXPECT_EQ(store.num_sources(), 10);
+}
+
+TEST(BcStore, SourcesAreDistinctAndInRange) {
+  BcStore store(100, ApproxConfig{.num_sources = 40, .seed = 9});
+  std::vector<bool> seen(100, false);
+  for (VertexId s : store.sources()) {
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 100);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(s)]) << "duplicate source";
+    seen[static_cast<std::size_t>(s)] = true;
+  }
+  EXPECT_EQ(store.num_sources(), 40);
+}
+
+TEST(BcStore, SourceSelectionDeterministicInSeed) {
+  BcStore a(1000, ApproxConfig{.num_sources = 64, .seed = 42});
+  BcStore b(1000, ApproxConfig{.num_sources = 64, .seed = 42});
+  BcStore c(1000, ApproxConfig{.num_sources = 64, .seed = 43});
+  EXPECT_TRUE(std::equal(a.sources().begin(), a.sources().end(),
+                         b.sources().begin()));
+  EXPECT_FALSE(std::equal(a.sources().begin(), a.sources().end(),
+                          c.sources().begin()));
+}
+
+TEST(BcStore, StateBytesMatchesKnTerm) {
+  BcStore store(100, ApproxConfig{.num_sources = 10, .seed = 1});
+  EXPECT_EQ(store.state_bytes(),
+            10u * 100u * (sizeof(Dist) + sizeof(Sigma) + sizeof(double)));
+}
+
+}  // namespace
+}  // namespace bcdyn

@@ -1,0 +1,120 @@
+// Multi-core CPU dynamic engine: results must match the sequential engine
+// and static recomputation for any worker count, over mixed streams.
+#include <gtest/gtest.h>
+
+#include "bc/brandes.hpp"
+#include "bc/dynamic_cpu_parallel.hpp"
+#include "gen/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace bcdyn {
+namespace {
+
+class CpuParallelWorkers : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuParallelWorkers, InsertionStreamMatchesStaticRecompute) {
+  const int workers = GetParam();
+  auto g = test::gnp_graph(60, 0.06, 811);
+  ApproxConfig cfg{.num_sources = 14, .seed = 2};
+  BcStore store(60, cfg);
+  brandes_all(g, store);
+  DynamicCpuParallelEngine engine(60, workers);
+  EXPECT_EQ(engine.num_workers(), workers);
+
+  util::Rng rng(31);
+  for (int step = 0; step < 8; ++step) {
+    const auto [u, v] = test::random_absent_edge(g, rng);
+    g = g.with_edge(u, v);
+    const auto outcomes = engine.insert_edge_update(g, store, u, v);
+    ASSERT_EQ(outcomes.size(), 14u);
+
+    BcStore fresh(60, cfg);
+    brandes_all(g, fresh);
+    for (int si = 0; si < store.num_sources(); ++si) {
+      const auto d_upd = store.dist_row(si);
+      const auto d_ref = fresh.dist_row(si);
+      for (std::size_t i = 0; i < d_upd.size(); ++i) {
+        ASSERT_EQ(d_upd[i], d_ref[i])
+            << "workers=" << workers << " step=" << step << " si=" << si;
+      }
+    }
+    test::expect_near_spans(store.bc(), fresh.bc(), 1e-7, "bc");
+  }
+}
+
+TEST_P(CpuParallelWorkers, MixedStreamWithRemovals) {
+  const int workers = GetParam();
+  auto g = gen::small_world(120, 3, 0.1, 17);
+  ApproxConfig cfg{.num_sources = 10, .seed = 3};
+  BcStore store(g.num_vertices(), cfg);
+  brandes_all(g, store);
+  DynamicCpuParallelEngine engine(g.num_vertices(), workers);
+
+  util::Rng rng(71);
+  std::vector<std::pair<VertexId, VertexId>> added;
+  for (int op = 0; op < 14; ++op) {
+    if (rng.next_bool(0.65) || added.empty()) {
+      const auto [u, v] = test::random_absent_edge(g, rng);
+      g = g.with_edge(u, v);
+      engine.insert_edge_update(g, store, u, v);
+      added.emplace_back(u, v);
+    } else {
+      const auto [u, v] = added.back();
+      added.pop_back();
+      g = g.without_edge(u, v);
+      engine.remove_edge_update(g, store, u, v);
+    }
+  }
+  BcStore fresh(g.num_vertices(), cfg);
+  brandes_all(g, fresh);
+  test::expect_near_spans(store.bc(), fresh.bc(), 1e-7, "bc");
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, CpuParallelWorkers,
+                         ::testing::Values(0, 1, 3, 8));
+
+TEST(CpuParallel, CountersAggregateAcrossLanes) {
+  auto g = test::gnp_graph(40, 0.1, 5);
+  ApproxConfig cfg{.num_sources = 12, .seed = 1};
+  BcStore store(40, cfg);
+  brandes_all(g, store);
+  DynamicCpuParallelEngine engine(40, 4);
+  util::Rng rng(2);
+  const auto [u, v] = test::random_absent_edge(g, rng);
+  g = g.with_edge(u, v);
+  engine.insert_edge_update(g, store, u, v);
+  const auto ops = engine.counters();
+  EXPECT_GT(ops.reads, 0u);
+  EXPECT_GT(ops.writes, 0u);
+}
+
+TEST(CpuParallel, OutcomesMatchSequentialEngine) {
+  auto g = test::gnp_graph(50, 0.08, 66);
+  ApproxConfig cfg{.num_sources = 16, .seed = 4};
+  BcStore store_par(50, cfg);
+  BcStore store_seq(50, cfg);
+  brandes_all(g, store_par);
+  brandes_all(g, store_seq);
+  DynamicCpuParallelEngine par(50, 3);
+  DynamicCpuEngine seq(50);
+
+  util::Rng rng(9);
+  const auto [u, v] = test::random_absent_edge(g, rng);
+  g = g.with_edge(u, v);
+  const auto outcomes = par.insert_edge_update(g, store_par, u, v);
+  for (int si = 0; si < 16; ++si) {
+    const auto r = seq.update_source(
+        g, store_seq.sources()[static_cast<std::size_t>(si)],
+        store_seq.dist_row(si), store_seq.sigma_row(si),
+        store_seq.delta_row(si), store_seq.bc(), u, v);
+    EXPECT_EQ(outcomes[static_cast<std::size_t>(si)].update_case,
+              r.update_case)
+        << si;
+    EXPECT_EQ(outcomes[static_cast<std::size_t>(si)].touched, r.touched)
+        << si;
+  }
+  test::expect_near_spans(store_par.bc(), store_seq.bc(), 1e-9, "bc");
+}
+
+}  // namespace
+}  // namespace bcdyn

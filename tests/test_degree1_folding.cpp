@@ -1,0 +1,114 @@
+// Degree-1 folding (Sariyuce et al.): the folded computation must equal
+// plain Brandes exactly, across structures that stress every accounting
+// term (pure trees, stars, lollipops, random graphs with pendant chains).
+#include <gtest/gtest.h>
+
+#include "bc/brandes.hpp"
+#include "bc/degree1_folding.hpp"
+#include "gen/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace bcdyn {
+namespace {
+
+void expect_folded_matches(const CSRGraph& g, const char* what) {
+  const auto expected = betweenness_exact(g);
+  FoldingStats stats;
+  const auto folded = betweenness_exact_folded(g, &stats);
+  test::expect_near_spans(folded, expected, 1e-9, what);
+  EXPECT_EQ(stats.removed + stats.remaining, g.num_vertices()) << what;
+}
+
+TEST(Degree1Folding, StarFoldsCompletely) {
+  const auto g = test::star_graph(10);
+  FoldingStats stats;
+  const auto bc = betweenness_exact_folded(g, &stats);
+  EXPECT_DOUBLE_EQ(bc[0], 9.0 * 8.0);
+  for (std::size_t v = 1; v < 10; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+  EXPECT_EQ(stats.remaining, 1);  // only the hub survives
+  EXPECT_EQ(stats.removed, 9);
+}
+
+TEST(Degree1Folding, PathFoldsCompletely) {
+  const auto g = test::path_graph(9);
+  expect_folded_matches(g, "path");
+  FoldingStats stats;
+  betweenness_exact_folded(g, &stats);
+  EXPECT_EQ(stats.remaining, 1);
+}
+
+TEST(Degree1Folding, RandomTrees) {
+  // Random recursive trees: everything folds, all accounting is closed-form.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    COOGraph coo;
+    coo.num_vertices = 40;
+    for (VertexId v = 1; v < 40; ++v) {
+      coo.add_edge(v, static_cast<VertexId>(rng.next_below(
+                          static_cast<std::uint64_t>(v))));
+    }
+    expect_folded_matches(CSRGraph::from_coo(std::move(coo)), "tree");
+  }
+}
+
+TEST(Degree1Folding, Lollipop) {
+  // Clique with a pendant path: the path folds onto the clique contact,
+  // exercising the reach-weighted Brandes with a heavy endpoint.
+  COOGraph coo;
+  coo.num_vertices = 16;
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) coo.add_edge(u, v);
+  }
+  for (VertexId v = 8; v < 16; ++v) coo.add_edge(v - 1 < 8 ? 0 : v - 1, v);
+  expect_folded_matches(CSRGraph::from_coo(std::move(coo)), "lollipop");
+}
+
+TEST(Degree1Folding, CycleWithPendants) {
+  // Nothing on the cycle folds; each pendant chain folds onto it.
+  COOGraph coo;
+  coo.num_vertices = 24;
+  for (VertexId v = 0; v < 8; ++v) coo.add_edge(v, static_cast<VertexId>((v + 1) % 8));
+  for (VertexId v = 8; v < 24; ++v) {
+    coo.add_edge(v, static_cast<VertexId>(v % 8));
+  }
+  expect_folded_matches(CSRGraph::from_coo(std::move(coo)), "cycle+pendants");
+}
+
+class FoldingRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FoldingRandomSweep, MatchesBrandesOnSparseRandom) {
+  // Sparse G(n, p) has many pendant vertices and trees; denser ones fold
+  // little - both must agree with Brandes.
+  const auto sparse = test::gnp_graph(60, 0.025, GetParam());
+  expect_folded_matches(sparse, "sparse");
+  const auto dense = test::gnp_graph(40, 0.2, GetParam() + 100);
+  expect_folded_matches(dense, "dense");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoldingRandomSweep,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+TEST(Degree1Folding, DisconnectedMixedComponents) {
+  // A tree component + a cycle component + isolated vertices.
+  COOGraph coo;
+  coo.num_vertices = 20;
+  for (VertexId v = 1; v < 8; ++v) coo.add_edge(v, (v - 1) / 2);  // tree
+  for (VertexId v = 8; v < 14; ++v) {
+    coo.add_edge(v, static_cast<VertexId>(v + 1 == 14 ? 8 : v + 1));  // cycle
+  }
+  // 14..19 isolated.
+  expect_folded_matches(CSRGraph::from_coo(std::move(coo)), "mixed");
+}
+
+TEST(Degree1Folding, ReductionShrinksRouterGraphs) {
+  // caida-like topologies are leaf-heavy: folding should remove a large
+  // share of the vertices (the speedup motivation in Sariyuce et al.).
+  const auto g = gen::router_level(2000, 9);
+  FoldingStats stats;
+  betweenness_exact_folded(g, &stats);
+  EXPECT_GT(stats.removed, g.num_vertices() / 3)
+      << "router graphs should fold heavily";
+}
+
+}  // namespace
+}  // namespace bcdyn

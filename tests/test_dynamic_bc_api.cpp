@@ -1,0 +1,116 @@
+// Public DynamicBc API: lifecycle, engine parity, degenerate inputs,
+// removal fallback, and ranking.
+#include <gtest/gtest.h>
+
+#include "bc/brandes.hpp"
+#include "bc/dynamic_bc.hpp"
+#include "gen/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace bcdyn {
+namespace {
+
+TEST(DynamicBcApi, ComputeThenInsertMatchesStatic) {
+  const auto g = test::gnp_graph(50, 0.06, 41);
+  DynamicBc analytic(g, ApproxConfig{.num_sources = 0, .seed = 1});
+  analytic.compute();
+  EXPECT_TRUE(analytic.computed());
+
+  util::Rng rng(91);
+  for (int step = 0; step < 5; ++step) {
+    const auto [u, v] = test::random_absent_edge(analytic.graph(), rng);
+    const auto outcome = analytic.insert_edge(u, v);
+    EXPECT_TRUE(outcome.inserted);
+    EXPECT_EQ(outcome.case1 + outcome.case2 + outcome.case3, 50);
+    EXPECT_GE(outcome.modeled_seconds, 0.0);
+  }
+  const auto expected = betweenness_exact(analytic.graph());
+  test::expect_near_spans(analytic.scores(), expected, 1e-7, "scores");
+}
+
+TEST(DynamicBcApi, InsertBeforeComputeThrows) {
+  const auto g = test::path_graph(5);
+  DynamicBc analytic(g, ApproxConfig{.num_sources = 0, .seed = 1});
+  EXPECT_THROW(analytic.insert_edge(0, 2), std::logic_error);
+}
+
+TEST(DynamicBcApi, RejectsDegenerateInsertions) {
+  const auto g = test::path_graph(5);
+  DynamicBc analytic(g, ApproxConfig{.num_sources = 0, .seed = 1});
+  analytic.compute();
+  EXPECT_FALSE(analytic.insert_edge(1, 1).inserted);   // self loop
+  EXPECT_FALSE(analytic.insert_edge(0, 1).inserted);   // already present
+  EXPECT_FALSE(analytic.insert_edge(0, 99).inserted);  // out of range
+  EXPECT_FALSE(analytic.insert_edge(-1, 2).inserted);
+}
+
+TEST(DynamicBcApi, AllThreeEnginesAgree) {
+  const auto g = test::gnp_graph(40, 0.08, 61);
+  std::vector<std::unique_ptr<DynamicBc>> analytics;
+  for (EngineKind kind :
+       {EngineKind::kCpu, EngineKind::kGpuEdge, EngineKind::kGpuNode}) {
+    analytics.push_back(std::make_unique<DynamicBc>(
+        g, ApproxConfig{.num_sources = 10, .seed = 3}, kind));
+    analytics.back()->compute();
+  }
+  util::Rng rng(77);
+  for (int step = 0; step < 6; ++step) {
+    const auto [u, v] = test::random_absent_edge(analytics[0]->graph(), rng);
+    for (auto& a : analytics) {
+      EXPECT_TRUE(a->insert_edge(u, v).inserted);
+    }
+  }
+  test::expect_near_spans(analytics[1]->scores(), analytics[0]->scores(),
+                          1e-7, "edge vs cpu");
+  test::expect_near_spans(analytics[2]->scores(), analytics[0]->scores(),
+                          1e-7, "node vs cpu");
+}
+
+TEST(DynamicBcApi, RemoveEdgeRecomputes) {
+  const auto g = test::cycle_graph(12);
+  DynamicBc analytic(g, ApproxConfig{.num_sources = 0, .seed = 1});
+  analytic.compute();
+  const auto outcome = analytic.remove_edge(0, 1);
+  EXPECT_TRUE(outcome.inserted);  // "applied"
+  EXPECT_FALSE(analytic.graph().has_edge(0, 1));
+  // Removing the cycle edge turns it into a path: closed-form check.
+  const auto expected = betweenness_exact(analytic.graph());
+  test::expect_near_spans(analytic.scores(), expected, 1e-9, "scores");
+  EXPECT_FALSE(analytic.remove_edge(0, 1).inserted);  // already gone
+}
+
+TEST(DynamicBcApi, TopKRanking) {
+  const auto g = test::star_graph(8);
+  DynamicBc analytic(g, ApproxConfig{.num_sources = 0, .seed = 1});
+  analytic.compute();
+  const auto top = analytic.top_k(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 0);  // hub
+  EXPECT_GT(top[0].second, 0.0);
+  EXPECT_DOUBLE_EQ(top[1].second, 0.0);
+  EXPECT_LT(top[1].first, top[2].first);  // tie-break by id
+  EXPECT_EQ(analytic.top_k(0).size(), 0u);
+  EXPECT_EQ(analytic.top_k(100).size(), 8u);
+}
+
+TEST(DynamicBcApi, CaseCountsMatchFigure2Semantics) {
+  const auto g = gen::small_world(200, 4, 0.1, 7);
+  DynamicBc analytic(g, ApproxConfig{.num_sources = 32, .seed = 5});
+  analytic.compute();
+  util::Rng rng(3);
+  const auto [u, v] = test::random_absent_edge(analytic.graph(), rng);
+  const auto outcome = analytic.insert_edge(u, v);
+  EXPECT_EQ(outcome.case1 + outcome.case2 + outcome.case3, 32);
+  EXPECT_LE(outcome.max_touched, 200);
+}
+
+TEST(DynamicBcApi, EngineNames) {
+  EXPECT_STREQ(to_string(EngineKind::kCpu), "cpu");
+  EXPECT_STREQ(to_string(EngineKind::kGpuEdge), "gpu-edge");
+  EXPECT_STREQ(to_string(EngineKind::kGpuNode), "gpu-node");
+  EXPECT_STREQ(to_string(Parallelism::kEdge), "Edge");
+  EXPECT_STREQ(to_string(Parallelism::kNode), "Node");
+}
+
+}  // namespace
+}  // namespace bcdyn

@@ -1,0 +1,140 @@
+// Generators: determinism, size contracts, and the structural signatures
+// each graph class is supposed to show (degree skew, diameter, clustering
+// proxies) - the properties that drive the paper's per-graph behaviour.
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "gen/suite.hpp"
+#include "graph/degree_stats.hpp"
+#include "test_helpers.hpp"
+
+namespace bcdyn::gen {
+namespace {
+
+TEST(Generators, ErdosRenyiExactEdgeCount) {
+  const auto g = erdos_renyi(500, 2000, 1);
+  EXPECT_EQ(g.num_vertices(), 500);
+  EXPECT_EQ(g.num_edges(), 2000);
+  EXPECT_THROW(erdos_renyi(1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi(4, 100, 1), std::invalid_argument);
+}
+
+TEST(Generators, DeterministicInSeed) {
+  const auto a = preferential_attachment(300, 3, 9);
+  const auto b = preferential_attachment(300, 3, 9);
+  const auto c = preferential_attachment(300, 3, 10);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  bool all_equal = true;
+  for (VertexId v = 0; v < 300; ++v) {
+    if (a.degree(v) != b.degree(v)) all_equal = false;
+  }
+  EXPECT_TRUE(all_equal);
+  bool differs = c.num_edges() != a.num_edges();
+  for (VertexId v = 0; v < 300 && !differs; ++v) {
+    differs = a.degree(v) != c.degree(v);
+  }
+  EXPECT_TRUE(differs) << "different seeds must differ";
+}
+
+TEST(Generators, SmallWorldShape) {
+  const auto g = small_world(1000, 5, 0.1, 3);
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 1000);
+  // Each vertex contributes ~k edges.
+  EXPECT_NEAR(static_cast<double>(s.num_edges), 5000.0, 150.0);
+  // Logarithmic diameter: far below the k-ring's n/(2k) = 100.
+  EXPECT_LT(s.approx_diameter, 30);
+  EXPECT_GE(s.min_degree, 2);
+  EXPECT_THROW(small_world(10, 5, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(small_world(100, 3, 1.5, 1), std::invalid_argument);
+}
+
+TEST(Generators, PreferentialAttachmentPowerTail) {
+  const auto g = preferential_attachment(2000, 4, 5);
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 2000);
+  EXPECT_GE(s.min_degree, 4);
+  // Scale-free signature: hub degree far above the mean.
+  EXPECT_GT(s.max_degree, 8 * static_cast<VertexId>(s.avg_degree));
+  EXPECT_EQ(s.num_components, 1);
+  EXPECT_THROW(preferential_attachment(3, 3, 1), std::invalid_argument);
+}
+
+TEST(Generators, RmatShape) {
+  const auto g = rmat(10, 8, 11);
+  EXPECT_EQ(g.num_vertices(), 1024);
+  // Duplicates make the exact target unreachable; expect most of it.
+  EXPECT_GT(g.num_edges(), 1024 * 4);
+  const auto s = compute_stats(g);
+  // Kronecker graphs have many isolated vertices and extreme hubs.
+  EXPECT_GT(s.num_isolated, 0);
+  EXPECT_GT(s.max_degree, 20 * static_cast<VertexId>(s.avg_degree + 1));
+  EXPECT_THROW(rmat(0, 8, 1), std::invalid_argument);
+  EXPECT_THROW(rmat(10, 8, 1, 0.9, 0.2, 0.2), std::invalid_argument);
+}
+
+TEST(Generators, TriangulatedGridShape) {
+  const auto g = triangulated_grid(30, 40, 2);
+  EXPECT_EQ(g.num_vertices(), 1200);
+  // rows*(cols-1) + cols*(rows-1) + (rows-1)*(cols-1) edges.
+  EXPECT_EQ(g.num_edges(), 30 * 39 + 40 * 29 + 29 * 39);
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.num_components, 1);
+  // Planar: sqrt(n)-ish diameter, bounded degree.
+  EXPECT_GT(s.approx_diameter, 25);
+  EXPECT_LE(s.max_degree, 8);
+  EXPECT_THROW(triangulated_grid(1, 5, 1), std::invalid_argument);
+}
+
+TEST(Generators, RouterLevelShape) {
+  const auto g = router_level(4000, 6);
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 4000);
+  EXPECT_EQ(s.num_components, 1);  // leaves always reach the mid tier
+  EXPECT_EQ(s.min_degree, 1);     // leaf routers
+  EXPECT_GT(s.max_degree, 20);    // mid-tier concentrators
+  EXPECT_LT(s.avg_degree, 6.0);   // sparse, like caidaRouterLevel (~3.2)
+}
+
+TEST(Generators, WebCrawlShape) {
+  const auto g = web_crawl(6000, 8);
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 6000);
+  // High average degree from intra-host template links (eu-2005 has ~19).
+  EXPECT_GT(s.avg_degree, 8.0);
+  EXPECT_GT(s.max_degree, 4 * static_cast<VertexId>(s.avg_degree));
+}
+
+TEST(Generators, CopaperShape) {
+  const auto g = copaper(4000, 12.0, 2.0, 4);
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 4000);
+  // Affiliation cliques give very high average degree (coPapers has ~37).
+  EXPECT_GT(s.avg_degree, 10.0);
+  EXPECT_LT(s.approx_diameter, 40);
+}
+
+TEST(Suite, BuildsAllSevenGraphs) {
+  const auto suite = build_suite(0.02, 77);
+  ASSERT_EQ(suite.size(), 7u);
+  const auto names = suite_names();
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].name, names[i]);
+    EXPECT_GT(suite[i].graph.num_vertices(), 0);
+    EXPECT_GT(suite[i].graph.num_edges(), 0);
+    EXPECT_FALSE(suite[i].paper_name.empty());
+  }
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(build_suite_graph("nope", 1.0, 1), std::invalid_argument);
+}
+
+TEST(Suite, ScaleControlsSize) {
+  const auto small = build_suite_graph("pref", 0.02, 5);
+  const auto large = build_suite_graph("pref", 0.10, 5);
+  EXPECT_LT(small.graph.num_vertices(), large.graph.num_vertices());
+}
+
+}  // namespace
+}  // namespace bcdyn::gen

@@ -1,0 +1,182 @@
+// The GPU execution-model simulator: block context charging, round
+// accounting, scheduling makespan, and device launch semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "gpusim/block_context.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/device_spec.hpp"
+
+namespace bcdyn::sim {
+namespace {
+
+DeviceSpec tiny_spec(int sms = 2, int threads = 4) {
+  DeviceSpec s;
+  s.name = "tiny";
+  s.num_sms = sms;
+  s.threads_per_block = threads;
+  s.clock_ghz = 1.0;
+  return s;
+}
+
+TEST(BlockContext, RoundCountMatchesCeilDivision) {
+  const CostModel cm;
+  BlockContext ctx(tiny_spec(1, 4), cm, 0);
+  ctx.parallel_for(10, [&](std::size_t) {});
+  // 10 items over 4 threads = 3 rounds (4+4+2).
+  EXPECT_EQ(ctx.counters().rounds, 3u);
+  EXPECT_EQ(ctx.counters().items, 10u);
+  EXPECT_EQ(ctx.counters().barriers, 1u);  // implicit trailing barrier
+}
+
+TEST(BlockContext, EmptyLoopStillCostsARoundAndBarrier) {
+  const CostModel cm;
+  BlockContext ctx(tiny_spec(), cm, 0);
+  ctx.parallel_for(0, [&](std::size_t) { FAIL() << "must not run"; });
+  EXPECT_EQ(ctx.counters().rounds, 1u);
+  EXPECT_EQ(ctx.counters().items, 0u);
+}
+
+TEST(BlockContext, RoundCostIsMaxOfItemCosts) {
+  CostModel cm;
+  cm.round_issue_cycles = 0.0;
+  cm.barrier_cycles = 0.0;
+  cm.global_read_cycles = 10.0;
+  cm.read_throughput_cycles = 0.0;
+  const auto spec = tiny_spec(1, 4);
+  // One round of 4 items; one item does 5 reads, others 1: cost = 50, not 80.
+  BlockContext ctx(spec, cm, 0);
+  ctx.parallel_for(4, [&](std::size_t i) { ctx.charge_read(i == 2 ? 5 : 1); });
+  EXPECT_DOUBLE_EQ(ctx.cycles(), 50.0);
+  EXPECT_EQ(ctx.counters().global_reads, 8u);
+}
+
+TEST(BlockContext, DivergenceAcrossRoundsAccumulates) {
+  CostModel cm;
+  cm.round_issue_cycles = 1.0;
+  cm.barrier_cycles = 0.0;
+  cm.instr_cycles = 1.0;
+  cm.read_throughput_cycles = 0.0;
+  BlockContext ctx(tiny_spec(1, 2), cm, 0);
+  // Items costs: round0 {3, 1} -> 3, round1 {2, 7} -> 7. Total 2+3+7 = 12.
+  const int costs[] = {3, 1, 2, 7};
+  ctx.parallel_for(4, [&](std::size_t i) {
+    ctx.charge_instr(static_cast<std::size_t>(costs[i]));
+  });
+  EXPECT_DOUBLE_EQ(ctx.cycles(), 12.0);
+}
+
+TEST(BlockContext, AtomicConflictTrackingDetectsSameAddress) {
+  CostModel cm;
+  const auto spec = tiny_spec(1, 8);
+  BlockContext tracked(spec, cm, 0, /*track_atomic_conflicts=*/true);
+  tracked.parallel_for(8, [&](std::size_t) { tracked.charge_atomic(42); });
+  EXPECT_EQ(tracked.counters().atomic_conflicts, 7u);
+
+  BlockContext spread(spec, cm, 0, true);
+  spread.parallel_for(8, [&](std::size_t i) { spread.charge_atomic(i); });
+  EXPECT_EQ(spread.counters().atomic_conflicts, 0u);
+
+  // Conflict window resets at round boundaries.
+  BlockContext rounds(tiny_spec(1, 2), cm, 0, true);
+  rounds.parallel_for(4, [&](std::size_t) { rounds.charge_atomic(7); });
+  EXPECT_EQ(rounds.counters().atomic_conflicts, 2u);  // one per round
+}
+
+TEST(BlockContext, ThroughputTermChargesAggregateRoundTraffic) {
+  CostModel cm;
+  cm.round_issue_cycles = 0.0;
+  cm.barrier_cycles = 0.0;
+  cm.global_read_cycles = 0.0;  // isolate the throughput term
+  cm.read_throughput_cycles = 0.5;
+  BlockContext ctx(tiny_spec(1, 4), cm, 0);
+  ctx.parallel_for(4, [&](std::size_t) { ctx.charge_read(10); });
+  // 40 reads in one round at 0.5 cycles each.
+  EXPECT_DOUBLE_EQ(ctx.cycles(), 20.0);
+}
+
+TEST(ScheduleMakespan, PerfectDivisionIsFlat) {
+  // 4 equal blocks on 2 SMs: makespan = 2 blocks' worth per SM.
+  const std::vector<double> blocks(4, 100.0);
+  EXPECT_DOUBLE_EQ(schedule_makespan(blocks, 2, 0.0), 200.0);
+  EXPECT_DOUBLE_EQ(schedule_makespan(blocks, 4, 0.0), 100.0);
+  // More SMs than blocks doesn't help further.
+  EXPECT_DOUBLE_EQ(schedule_makespan(blocks, 8, 0.0), 100.0);
+}
+
+TEST(ScheduleMakespan, GreedyBalancesUnevenBlocks) {
+  const std::vector<double> blocks = {100, 10, 10, 10, 10, 10};
+  // Greedy: SM0 takes 100; SM1 takes the five 10s = 50. Makespan 100.
+  EXPECT_DOUBLE_EQ(schedule_makespan(blocks, 2, 0.0), 100.0);
+}
+
+TEST(ScheduleMakespan, DispatchOverheadCharged) {
+  const std::vector<double> blocks = {5.0, 5.0};
+  EXPECT_DOUBLE_EQ(schedule_makespan(blocks, 1, 2.0), 14.0);
+}
+
+TEST(Device, LaunchAggregatesBlockCounters) {
+  Device dev(tiny_spec(2, 4));
+  const auto stats = dev.launch(3, [](BlockContext& ctx) {
+    ctx.parallel_for(4, [&](std::size_t) { ctx.charge_read(1); });
+  });
+  EXPECT_EQ(stats.num_blocks, 3);
+  EXPECT_EQ(stats.total.global_reads, 12u);
+  EXPECT_GT(stats.seconds, 0.0);
+  EXPECT_GT(stats.makespan_cycles, 0.0);
+}
+
+TEST(Device, BlockIdsCoverRange) {
+  Device dev(tiny_spec(2, 4));
+  std::vector<int> seen(5, 0);
+  dev.launch(5, [&](BlockContext& ctx) { seen[static_cast<std::size_t>(ctx.block_id())]++; });
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Device, ParallelWorkersProduceSameStatsAsInline) {
+  const auto kernel = [](BlockContext& ctx) {
+    ctx.parallel_for(100, [&](std::size_t i) {
+      ctx.charge_read(1 + i % 3);
+      if (i % 7 == 0) ctx.charge_atomic(i);
+    });
+  };
+  Device inline_dev(tiny_spec(4, 8));
+  Device pooled(tiny_spec(4, 8), CostModel{}, /*host_workers=*/3);
+  const auto a = inline_dev.launch(6, kernel);
+  const auto b = pooled.launch(6, kernel);
+  EXPECT_EQ(a.total.global_reads, b.total.global_reads);
+  EXPECT_EQ(a.total.atomics, b.total.atomics);
+  EXPECT_DOUBLE_EQ(a.makespan_cycles, b.makespan_cycles);
+}
+
+TEST(Device, AccumulatedStatsSumLaunches) {
+  Device dev(tiny_spec());
+  const auto kernel = [](BlockContext& ctx) {
+    ctx.parallel_for(8, [&](std::size_t) { ctx.charge_write(1); });
+  };
+  dev.launch(2, kernel);
+  dev.launch(2, kernel);
+  EXPECT_EQ(dev.accumulated().total.global_writes, 32u);
+  dev.reset_accumulated();
+  EXPECT_EQ(dev.accumulated().total.global_writes, 0u);
+}
+
+TEST(CostModel, CpuSecondsLinearInOps) {
+  CostModel cm;
+  const double t1 = cpu_seconds(cm, 1000, 0, 0);
+  const double t2 = cpu_seconds(cm, 2000, 0, 0);
+  EXPECT_DOUBLE_EQ(t2, 2.0 * t1);
+  EXPECT_GT(cpu_seconds(cm, 0, 100, 0), 0.0);
+  EXPECT_GT(cpu_seconds(cm, 0, 0, 100), 0.0);
+}
+
+TEST(DeviceSpec, PaperHardwarePresets) {
+  EXPECT_EQ(DeviceSpec::tesla_c2075().num_sms, 14);
+  EXPECT_EQ(DeviceSpec::gtx_560().num_sms, 7);
+  EXPECT_EQ(DeviceSpec::tesla_c2075().threads_per_block, 1024);
+}
+
+}  // namespace
+}  // namespace bcdyn::sim

@@ -1,0 +1,84 @@
+// Shared fixtures and assertion helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "graph/coo.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace bcdyn::test {
+
+inline CSRGraph path_graph(VertexId n) {
+  COOGraph coo;
+  coo.num_vertices = n;
+  for (VertexId v = 0; v + 1 < n; ++v) coo.add_edge(v, v + 1);
+  return CSRGraph::from_coo(std::move(coo));
+}
+
+inline CSRGraph cycle_graph(VertexId n) {
+  COOGraph coo;
+  coo.num_vertices = n;
+  for (VertexId v = 0; v < n; ++v) coo.add_edge(v, (v + 1) % n);
+  return CSRGraph::from_coo(std::move(coo));
+}
+
+inline CSRGraph star_graph(VertexId n) {
+  COOGraph coo;
+  coo.num_vertices = n;
+  for (VertexId v = 1; v < n; ++v) coo.add_edge(0, v);
+  return CSRGraph::from_coo(std::move(coo));
+}
+
+inline CSRGraph complete_graph(VertexId n) {
+  COOGraph coo;
+  coo.num_vertices = n;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) coo.add_edge(u, v);
+  }
+  return CSRGraph::from_coo(std::move(coo));
+}
+
+/// G(n, p) with an optional extra component offset; may be disconnected.
+inline CSRGraph gnp_graph(VertexId n, double p, std::uint64_t seed) {
+  util::Rng rng(seed);
+  COOGraph coo;
+  coo.num_vertices = n;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.next_bool(p)) coo.add_edge(u, v);
+    }
+  }
+  return CSRGraph::from_coo(std::move(coo));
+}
+
+/// Returns a uniformly random absent edge (u, v), or {-1, -1} if the graph
+/// is complete.
+inline std::pair<VertexId, VertexId> random_absent_edge(const CSRGraph& g,
+                                                        util::Rng& rng) {
+  const VertexId n = g.num_vertices();
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const auto u = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u != v && !g.has_edge(u, v)) return {u, v};
+  }
+  return {kNoVertex, kNoVertex};
+}
+
+inline void expect_near_spans(std::span<const double> actual,
+                              std::span<const double> expected, double tol,
+                              const char* what) {
+  ASSERT_EQ(actual.size(), expected.size()) << what;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double scale = std::max(1.0, std::abs(expected[i]));
+    ASSERT_NEAR(actual[i], expected[i], tol * scale)
+        << what << " mismatch at index " << i;
+  }
+}
+
+}  // namespace bcdyn::test

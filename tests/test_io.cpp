@@ -1,0 +1,134 @@
+// Graph file I/O: METIS (DIMACS-10) and edge-list readers/writers,
+// round-trips, and malformed-input failure injection.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/io.hpp"
+#include "test_helpers.hpp"
+
+namespace bcdyn::io {
+namespace {
+
+TEST(MetisReader, ParsesCanonicalFile) {
+  std::istringstream in(
+      "% a comment line\n"
+      "4 3\n"
+      "2 3\n"
+      "1\n"
+      "1 4\n"
+      "3\n");
+  const auto coo = read_metis(in);
+  EXPECT_EQ(coo.num_vertices, 4);
+  EXPECT_EQ(coo.num_edges(), 3u);
+  const auto g = CSRGraph::from_coo(coo);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(MetisReader, IsolatedVertexBlankLine) {
+  std::istringstream in("3 1\n2\n1\n\n");
+  const auto coo = read_metis(in);
+  EXPECT_EQ(coo.num_vertices, 3);
+  EXPECT_EQ(coo.num_edges(), 1u);
+}
+
+TEST(MetisReader, FailureInjection) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW(read_metis(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("abc def\n");
+    EXPECT_THROW(read_metis(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("4 3 11\n");  // weighted format unsupported
+    EXPECT_THROW(read_metis(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("2 1\n5\n1\n");  // neighbor out of range
+    EXPECT_THROW(read_metis(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("4 1\n2\n1\n");  // missing adjacency rows
+    EXPECT_THROW(read_metis(in), std::runtime_error);
+  }
+}
+
+TEST(EdgeListReader, ParsesWithCommentsAndBlanks) {
+  std::istringstream in(
+      "# comment\n"
+      "0 1\n"
+      "\n"
+      "% also comment\n"
+      "1 2\n"
+      "4 2\n");
+  const auto coo = read_edge_list(in);
+  EXPECT_EQ(coo.num_vertices, 5);
+  EXPECT_EQ(coo.num_edges(), 3u);
+}
+
+TEST(EdgeListReader, FailureInjection) {
+  {
+    std::istringstream in("0\n");  // missing second endpoint
+    EXPECT_THROW(read_edge_list(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("-1 2\n");
+    EXPECT_THROW(read_edge_list(in), std::runtime_error);
+  }
+}
+
+TEST(IoRoundTrip, MetisWriterReaderPreservesGraph) {
+  const auto g = test::gnp_graph(40, 0.1, 8);
+  std::stringstream buf;
+  write_metis(buf, g);
+  const auto coo = read_metis(buf);
+  const auto g2 = CSRGraph::from_coo(coo);
+  ASSERT_EQ(g2.num_vertices(), g.num_vertices());
+  ASSERT_EQ(g2.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId w : g.neighbors(v)) {
+      EXPECT_TRUE(g2.has_edge(v, w));
+    }
+  }
+}
+
+TEST(IoRoundTrip, EdgeListWriterReaderPreservesGraph) {
+  const auto g = test::gnp_graph(30, 0.15, 9);
+  std::stringstream buf;
+  write_edge_list(buf, g);
+  const auto g2 = CSRGraph::from_coo(read_edge_list(buf));
+  ASSERT_EQ(g2.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId w : g.neighbors(v)) {
+      EXPECT_TRUE(g2.has_edge(v, w));
+    }
+  }
+}
+
+TEST(LoadGraph, MissingFileThrows) {
+  EXPECT_THROW(load_graph("/nonexistent/path.graph"), std::runtime_error);
+}
+
+TEST(LoadGraph, DispatchesOnExtension) {
+  const auto g = test::path_graph(5);
+  {
+    std::ofstream out("/tmp/bcdyn_test.graph");
+    write_metis(out, g);
+  }
+  {
+    std::ofstream out("/tmp/bcdyn_test.el");
+    write_edge_list(out, g);
+  }
+  const auto a = load_graph("/tmp/bcdyn_test.graph");
+  const auto b = load_graph("/tmp/bcdyn_test.el");
+  EXPECT_EQ(a.num_edges(), 4);
+  EXPECT_EQ(b.num_edges(), 4);
+}
+
+}  // namespace
+}  // namespace bcdyn::io

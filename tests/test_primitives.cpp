@@ -1,0 +1,161 @@
+// Block-level primitives: bitonic sort, exclusive scan, duplicate removal,
+// max reduction - correctness on random inputs plus charging sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "gpusim/block_context.hpp"
+#include "gpusim/primitives.hpp"
+#include "util/rng.hpp"
+
+namespace bcdyn::sim {
+namespace {
+
+DeviceSpec spec() {
+  DeviceSpec s;
+  s.num_sms = 1;
+  s.threads_per_block = 32;
+  return s;
+}
+
+// BlockContext keeps references to its spec/cost model, so the test helper
+// must hand it storage that outlives the context.
+BlockContext make_ctx() {
+  static const DeviceSpec sp = spec();
+  static const CostModel cm;
+  return BlockContext(sp, cm, 0);
+}
+
+class BitonicSortSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitonicSortSizes, SortsRandomInput) {
+  static DeviceSpec sp = spec();
+  static CostModel cm;
+  BlockContext ctx(sp, cm, 0);
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 7);
+  std::vector<VertexId> values(static_cast<std::size_t>(GetParam()));
+  for (auto& v : values) {
+    v = static_cast<VertexId>(rng.next_below(1000));
+  }
+  std::vector<VertexId> expected = values;
+  std::sort(expected.begin(), expected.end());
+  block_bitonic_sort(ctx, values, expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(values[i], expected[i]) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitonicSortSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 17,
+                                           31, 33, 64, 100, 255, 256, 1000));
+
+TEST(BitonicSort, ChargesLogSquaredStages) {
+  auto ctx = make_ctx();
+  std::vector<VertexId> values(64);
+  std::iota(values.rbegin(), values.rend(), 0);
+  block_bitonic_sort(ctx, values, 64);
+  // 64 = 2^6: 6*(6+1)/2 = 21 stages, each one parallel_for of 32 pairs
+  // over 32 threads = 1 round (+ its barrier).
+  EXPECT_EQ(ctx.counters().rounds, 21u);
+  EXPECT_GT(ctx.counters().global_reads, 0u);
+}
+
+class ScanSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanSizes, ExclusiveScanMatchesSequential) {
+  static DeviceSpec sp = spec();
+  static CostModel cm;
+  BlockContext ctx(sp, cm, 0);
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 1);
+  const auto n = static_cast<std::size_t>(GetParam());
+  std::vector<std::uint32_t> values(n);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng.next_below(10));
+  std::vector<std::uint32_t> expected(n);
+  std::uint32_t running = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i] = running;
+    running += values[i];
+  }
+  const std::uint32_t total = block_exclusive_scan(ctx, values, n);
+  EXPECT_EQ(total, running);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(values[i], expected[i]) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizes,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 13, 16, 100, 129,
+                                           512, 777));
+
+TEST(RemoveDuplicates, BasicDedup) {
+  auto ctx = make_ctx();
+  std::vector<VertexId> q = {5, 3, 5, 1, 3, 3, 9, 1};
+  std::vector<VertexId> scratch;
+  std::vector<std::uint32_t> flags;
+  const std::size_t unique = block_remove_duplicates(ctx, q, 8, scratch, flags);
+  ASSERT_EQ(unique, 4u);
+  EXPECT_EQ(q[0], 1);
+  EXPECT_EQ(q[1], 3);
+  EXPECT_EQ(q[2], 5);
+  EXPECT_EQ(q[3], 9);
+}
+
+TEST(RemoveDuplicates, AllSameAndAllDistinct) {
+  auto ctx = make_ctx();
+  std::vector<VertexId> scratch;
+  std::vector<std::uint32_t> flags;
+
+  std::vector<VertexId> same(33, 7);
+  EXPECT_EQ(block_remove_duplicates(ctx, same, 33, scratch, flags), 1u);
+  EXPECT_EQ(same[0], 7);
+
+  std::vector<VertexId> distinct(40);
+  std::iota(distinct.rbegin(), distinct.rend(), 100);
+  EXPECT_EQ(block_remove_duplicates(ctx, distinct, 40, scratch, flags), 40u);
+  for (std::size_t i = 0; i < 40; ++i) {
+    ASSERT_EQ(distinct[i], static_cast<VertexId>(100 + i));
+  }
+}
+
+TEST(RemoveDuplicates, RandomAgainstStdUnique) {
+  auto ctx = make_ctx();
+  util::Rng rng(404);
+  std::vector<VertexId> scratch;
+  std::vector<std::uint32_t> flags;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t len = 1 + rng.next_below(200);
+    std::vector<VertexId> q(len);
+    for (auto& v : q) v = static_cast<VertexId>(rng.next_below(40));
+    std::vector<VertexId> expected = q;
+    std::sort(expected.begin(), expected.end());
+    expected.erase(std::unique(expected.begin(), expected.end()),
+                   expected.end());
+    const std::size_t unique = block_remove_duplicates(ctx, q, len, scratch, flags);
+    ASSERT_EQ(unique, expected.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < unique; ++i) {
+      ASSERT_EQ(q[i], expected[i]) << "trial " << trial << " index " << i;
+    }
+  }
+}
+
+TEST(RemoveDuplicates, EmptyAndSingleton) {
+  auto ctx = make_ctx();
+  std::vector<VertexId> scratch;
+  std::vector<std::uint32_t> flags;
+  std::vector<VertexId> q = {42};
+  EXPECT_EQ(block_remove_duplicates(ctx, q, 0, scratch, flags), 0u);
+  EXPECT_EQ(block_remove_duplicates(ctx, q, 1, scratch, flags), 1u);
+  EXPECT_EQ(q[0], 42);
+}
+
+TEST(ReduceMax, FindsMaximum) {
+  auto ctx = make_ctx();
+  std::vector<Dist> values = {3, 9, 2, 9, 1, 0, 4};
+  EXPECT_EQ(block_reduce_max(ctx, values, values.size(), 0), 9);
+  EXPECT_EQ(block_reduce_max(ctx, values, 0, -5), -5);  // empty -> identity
+  EXPECT_EQ(block_reduce_max(ctx, values, 1, 0), 3);
+}
+
+}  // namespace
+}  // namespace bcdyn::sim

@@ -1,0 +1,256 @@
+// Decremental updates (edge removal): the incrementally repaired state
+// must equal static recomputation after every removal, across the same
+// merciless sweeps used for insertions.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bc/brandes.hpp"
+#include "bc/dynamic_bc.hpp"
+#include "bc/dynamic_cpu.hpp"
+#include "bc/dynamic_gpu.hpp"
+#include "gen/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace bcdyn {
+namespace {
+
+/// Removes `steps` random existing edges, checking full state equality
+/// against static recomputation after every removal.
+void check_removal_stream(CSRGraph g, const ApproxConfig& cfg, int steps,
+                          std::uint64_t seed, int* case2_seen,
+                          int* fallback_seen) {
+  const VertexId n = g.num_vertices();
+  BcStore store(n, cfg);
+  brandes_all(g, store);
+  DynamicCpuEngine engine(n);
+  util::Rng rng(seed);
+
+  for (int step = 0; step < steps; ++step) {
+    COOGraph coo = g.to_coo();
+    if (coo.edges.empty()) break;
+    const auto [u, v] =
+        coo.edges[static_cast<std::size_t>(rng.next_below(coo.edges.size()))];
+    g = g.without_edge(u, v);
+    for (int si = 0; si < store.num_sources(); ++si) {
+      const VertexId s = store.sources()[static_cast<std::size_t>(si)];
+      const auto r = engine.remove_update_source(
+          g, s, store.dist_row(si), store.sigma_row(si), store.delta_row(si),
+          store.bc(), u, v);
+      if (r.update_case == UpdateCase::kAdjacent && case2_seen) ++*case2_seen;
+      if (r.update_case == UpdateCase::kFar && fallback_seen) ++*fallback_seen;
+    }
+
+    BcStore fresh(n, cfg);
+    brandes_all(g, fresh);
+    for (int si = 0; si < store.num_sources(); ++si) {
+      const auto d_upd = store.dist_row(si);
+      const auto d_ref = fresh.dist_row(si);
+      const auto s_upd = store.sigma_row(si);
+      const auto s_ref = fresh.sigma_row(si);
+      const auto dl_upd = store.delta_row(si);
+      const auto dl_ref = fresh.delta_row(si);
+      for (std::size_t i = 0; i < d_upd.size(); ++i) {
+        ASSERT_EQ(d_upd[i], d_ref[i])
+            << "dist step=" << step << " si=" << si << " v=" << i
+            << " removed=(" << u << "," << v << ")";
+        ASSERT_DOUBLE_EQ(s_upd[i], s_ref[i])
+            << "sigma step=" << step << " si=" << si << " v=" << i
+            << " removed=(" << u << "," << v << ")";
+        ASSERT_NEAR(dl_upd[i], dl_ref[i],
+                    1e-9 * std::max(1.0, std::abs(dl_ref[i])))
+            << "delta step=" << step << " si=" << si << " v=" << i;
+      }
+    }
+    test::expect_near_spans(store.bc(), fresh.bc(), 1e-7, "bc");
+  }
+}
+
+using RemovalParam = std::tuple<int, double, int, std::uint64_t>;
+
+class RemovalStream : public ::testing::TestWithParam<RemovalParam> {};
+
+TEST_P(RemovalStream, MatchesStaticRecomputeAfterEveryRemoval) {
+  const auto [n, p, k, seed] = GetParam();
+  const auto g = test::gnp_graph(static_cast<VertexId>(n), p, seed);
+  ApproxConfig cfg{.num_sources = k, .seed = seed + 1};
+  int case2 = 0;
+  int fallback = 0;
+  check_removal_stream(g, cfg, 10, seed + 2, &case2, &fallback);
+  // Both the incremental and the fallback path must actually be exercised
+  // across the sweep (checked in aggregate by the Coverage test below).
+  (void)case2;
+  (void)fallback;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphSweep, RemovalStream,
+    ::testing::Values(RemovalParam{30, 0.08, 0, 501},
+                      RemovalParam{30, 0.15, 0, 502},
+                      RemovalParam{40, 0.30, 0, 503},
+                      RemovalParam{48, 0.06, 12, 504},
+                      RemovalParam{40, 0.05, 0, 505},   // sparse: fallbacks
+                      RemovalParam{64, 0.03, 16, 506},  // disconnects likely
+                      RemovalParam{24, 0.50, 0, 507}));
+
+TEST(Removal, BothPathsAreExercised) {
+  int case2 = 0;
+  int fallback = 0;
+  const auto g = test::gnp_graph(40, 0.08, 999);
+  check_removal_stream(g, ApproxConfig{.num_sources = 0, .seed = 1}, 10, 7,
+                       &case2, &fallback);
+  EXPECT_GT(case2, 0) << "incremental removal path never ran";
+  EXPECT_GT(fallback, 0) << "distance-growing fallback never ran";
+}
+
+TEST(Removal, BridgeRemovalDisconnects) {
+  // Removing a path's middle edge splits the component; distances beyond
+  // it become infinite through the fallback path.
+  auto g = test::path_graph(10);
+  ApproxConfig cfg{.num_sources = 0, .seed = 1};
+  BcStore store(10, cfg);
+  brandes_all(g, store);
+  DynamicCpuEngine engine(10);
+  g = g.without_edge(4, 5);
+  for (int si = 0; si < store.num_sources(); ++si) {
+    engine.remove_update_source(g, store.sources()[static_cast<std::size_t>(si)],
+                                store.dist_row(si), store.sigma_row(si),
+                                store.delta_row(si), store.bc(), 4, 5);
+  }
+  BcStore fresh(10, cfg);
+  brandes_all(g, fresh);
+  test::expect_near_spans(store.bc(), fresh.bc(), 1e-9, "bc");
+  // Distances across the cut must be infinite in the updated store.
+  EXPECT_EQ(store.dist_row(0)[9], kInfDist);
+}
+
+TEST(Removal, InsertThenRemoveRoundTripsExactly) {
+  // insert(u,v) followed by remove(u,v) must restore all state.
+  auto g = test::gnp_graph(36, 0.1, 77);
+  ApproxConfig cfg{.num_sources = 0, .seed = 1};
+  BcStore store(36, cfg);
+  brandes_all(g, store);
+  const std::vector<double> bc0(store.bc().begin(), store.bc().end());
+
+  DynamicCpuEngine engine(36);
+  util::Rng rng(11);
+  for (int round = 0; round < 6; ++round) {
+    const auto [u, v] = test::random_absent_edge(g, rng);
+    const auto g_plus = g.with_edge(u, v);
+    for (int si = 0; si < store.num_sources(); ++si) {
+      engine.update_source(g_plus, store.sources()[static_cast<std::size_t>(si)],
+                           store.dist_row(si), store.sigma_row(si),
+                           store.delta_row(si), store.bc(), u, v);
+    }
+    for (int si = 0; si < store.num_sources(); ++si) {
+      engine.remove_update_source(
+          g, store.sources()[static_cast<std::size_t>(si)], store.dist_row(si),
+          store.sigma_row(si), store.delta_row(si), store.bc(), u, v);
+    }
+    test::expect_near_spans(store.bc(), bc0, 1e-7, "round trip");
+  }
+}
+
+TEST(Removal, DynamicBcUsesIncrementalPathOnCpu) {
+  const auto g = gen::small_world(200, 4, 0.1, 5);
+  DynamicBc analytic(g, ApproxConfig{.num_sources = 24, .seed = 2},
+                     EngineKind::kCpu);
+  analytic.compute();
+  // Remove a handful of random existing edges via the public API.
+  auto coo = g.to_coo();
+  util::Rng rng(9);
+  rng.shuffle(std::span(coo.edges));
+  int case_total = 0;
+  for (int i = 0; i < 5; ++i) {
+    const auto [u, v] = coo.edges[static_cast<std::size_t>(i)];
+    const auto r = analytic.remove_edge(u, v);
+    EXPECT_TRUE(r.inserted);
+    case_total += r.case1 + r.case2 + r.case3;
+  }
+  EXPECT_EQ(case_total, 5 * 24);  // per-source case accounting present
+  EXPECT_LT(analytic.verify_against_recompute(), 1e-7);
+}
+
+TEST(Removal, GpuEnginesMatchStaticRecompute) {
+  for (Parallelism mode : {Parallelism::kEdge, Parallelism::kNode}) {
+    auto g = test::gnp_graph(40, 0.1, 313);
+    ApproxConfig cfg{.num_sources = 10, .seed = 3};
+    BcStore store(40, cfg);
+    brandes_all(g, store);
+    DynamicGpuBc engine(sim::DeviceSpec::tesla_c2075(), mode);
+    util::Rng rng(17);
+    for (int step = 0; step < 8; ++step) {
+      COOGraph coo = g.to_coo();
+      if (coo.edges.empty()) break;
+      const auto [u, v] =
+          coo.edges[static_cast<std::size_t>(rng.next_below(coo.edges.size()))];
+      g = g.without_edge(u, v);
+      engine.remove_edge_update(g, store, u, v);
+
+      BcStore fresh(40, cfg);
+      brandes_all(g, fresh);
+      for (int si = 0; si < store.num_sources(); ++si) {
+        const auto d_upd = store.dist_row(si);
+        const auto d_ref = fresh.dist_row(si);
+        const auto s_upd = store.sigma_row(si);
+        const auto s_ref = fresh.sigma_row(si);
+        for (std::size_t i = 0; i < d_upd.size(); ++i) {
+          ASSERT_EQ(d_upd[i], d_ref[i])
+              << to_string(mode) << " step=" << step << " si=" << si
+              << " v=" << i << " removed=(" << u << "," << v << ")";
+          ASSERT_DOUBLE_EQ(s_upd[i], s_ref[i])
+              << to_string(mode) << " step=" << step << " si=" << si
+              << " v=" << i;
+        }
+      }
+      test::expect_near_spans(store.bc(), fresh.bc(), 1e-7, "bc");
+    }
+  }
+}
+
+TEST(Removal, GpuMixedInsertRemoveStream) {
+  auto g = gen::small_world(100, 3, 0.1, 8);
+  ApproxConfig cfg{.num_sources = 12, .seed = 4};
+  BcStore store(g.num_vertices(), cfg);
+  brandes_all(g, store);
+  DynamicGpuBc engine(sim::DeviceSpec::gtx_560(), Parallelism::kNode);
+  util::Rng rng(23);
+  std::vector<std::pair<VertexId, VertexId>> added;
+  for (int op = 0; op < 20; ++op) {
+    if (rng.next_bool(0.6) || added.empty()) {
+      const auto [u, v] = test::random_absent_edge(g, rng);
+      g = g.with_edge(u, v);
+      engine.insert_edge_update(g, store, u, v);
+      added.emplace_back(u, v);
+    } else {
+      const auto [u, v] = added.back();
+      added.pop_back();
+      g = g.without_edge(u, v);
+      engine.remove_edge_update(g, store, u, v);
+    }
+  }
+  BcStore fresh(g.num_vertices(), cfg);
+  brandes_all(g, fresh);
+  test::expect_near_spans(store.bc(), fresh.bc(), 1e-7, "bc");
+}
+
+TEST(Removal, DynamicBcGpuEnginesRemoveIncrementally) {
+  const auto g = test::gnp_graph(60, 0.08, 44);
+  for (EngineKind kind : {EngineKind::kGpuEdge, EngineKind::kGpuNode}) {
+    DynamicBc analytic(g, ApproxConfig{.num_sources = 10, .seed = 5}, kind);
+    analytic.compute();
+    auto coo = g.to_coo();
+    util::Rng rng(6);
+    rng.shuffle(std::span(coo.edges));
+    for (int i = 0; i < 4; ++i) {
+      const auto [u, v] = coo.edges[static_cast<std::size_t>(i)];
+      const auto r = analytic.remove_edge(u, v);
+      EXPECT_TRUE(r.inserted);
+      EXPECT_EQ(r.case1 + r.case2 + r.case3, 10);
+    }
+    EXPECT_LT(analytic.verify_against_recompute(), 1e-7) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace bcdyn

@@ -1,0 +1,184 @@
+// util/: RNG distribution sanity, prefix sums, thread pool, table printer,
+// CLI parser.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/prefix_sum.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bcdyn::util {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Rng c(8);
+  bool differs = false;
+  Rng a2(7);
+  for (int i = 0; i < 10 && !differs; ++i) differs = a2.next() != c.next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, NextBelowIsInRangeAndRoughlyUniform) {
+  Rng rng(3);
+  std::vector<int> buckets(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    const auto x = rng.next_below(10);
+    ASSERT_LT(x, 10u);
+    ++buckets[static_cast<std::size_t>(x)];
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, draws / 10, draws / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.next_in(-3, 3);
+    ASSERT_GE(x, -3);
+    ASSERT_LE(x, 3);
+  }
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(9);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.shuffle(std::span(v));
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng b = a.split();
+  bool differs = false;
+  for (int i = 0; i < 10 && !differs; ++i) differs = a.next() != b.next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(PrefixSum, ExclusiveAndInclusive) {
+  std::vector<int> v = {3, 1, 4, 1, 5};
+  auto ex = v;
+  EXPECT_EQ(exclusive_prefix_sum(std::span(ex)), 14);
+  EXPECT_EQ(ex, (std::vector<int>{0, 3, 4, 8, 9}));
+  auto in = v;
+  EXPECT_EQ(inclusive_prefix_sum(std::span(in)), 14);
+  EXPECT_EQ(in, (std::vector<int>{3, 4, 8, 9, 14}));
+}
+
+TEST(PrefixSum, OffsetsFromCounts) {
+  const std::vector<std::int64_t> counts = {2, 0, 3};
+  const auto offsets = offsets_from_counts(counts);
+  EXPECT_EQ(offsets, (std::vector<std::int64_t>{0, 2, 2, 5}));
+  EXPECT_EQ(offsets_from_counts({}).size(), 1u);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DegenerateInlinePool) {
+  ThreadPool pool(0);
+  int count = 0;
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(pool.num_workers(), 0u);
+}
+
+TEST(ThreadPool, ParallelForChunkedCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_chunked(pool, 1000, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Table, AlignedAndCsvOutput) {
+  Table t({"Graph", "Time"});
+  t.add_row({"caida", Table::fmt(1.5, 2)});
+  t.add_row({"a,b", Table::fmt_speedup(20.638)});
+  EXPECT_EQ(t.num_rows(), 2u);
+
+  std::ostringstream pretty;
+  t.print(pretty);
+  EXPECT_NE(pretty.str().find("caida"), std::string::npos);
+  EXPECT_NE(pretty.str().find("1.50"), std::string::npos);
+  EXPECT_NE(pretty.str().find("20.64x"), std::string::npos);
+
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("\"a,b\""), std::string::npos);
+}
+
+TEST(Cli, ParsesKeysFlagsAndLists) {
+  const char* argv[] = {"prog", "--scale=0.5", "--verify", "--blocks=1,2,4",
+                        "--name=test"};
+  Cli cli(5, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 1.0), 0.5);
+  EXPECT_TRUE(cli.get_bool("verify", false));
+  EXPECT_EQ(cli.get("name", ""), "test");
+  EXPECT_EQ(cli.get_int("missing", 42), 42);
+  const auto blocks = cli.get_int_list("blocks", {});
+  EXPECT_EQ(blocks, (std::vector<std::int64_t>{1, 2, 4}));
+  EXPECT_TRUE(cli.unused_keys().empty());
+}
+
+TEST(Cli, RejectsMalformedAndTracksUnused) {
+  const char* bad[] = {"prog", "positional"};
+  EXPECT_THROW(Cli(2, bad), std::invalid_argument);
+
+  const char* ok[] = {"prog", "--used=1", "--typo=2"};
+  Cli cli(3, ok);
+  cli.get_int("used", 0);
+  const auto unused = cli.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch sw;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  ASSERT_GT(sink, 0.0);
+  EXPECT_GE(sw.elapsed_s(), 0.0);
+  EXPECT_GE(sw.elapsed_ms(), 0.0);
+  sw.reset();
+  EXPECT_LT(sw.elapsed_s(), 1.0);
+}
+
+}  // namespace
+}  // namespace bcdyn::util
