@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_thread_blocks.dir/fig1_thread_blocks.cpp.o"
+  "CMakeFiles/fig1_thread_blocks.dir/fig1_thread_blocks.cpp.o.d"
+  "fig1_thread_blocks"
+  "fig1_thread_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_thread_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

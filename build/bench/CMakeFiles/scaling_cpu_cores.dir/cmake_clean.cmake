@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_cpu_cores.dir/scaling_cpu_cores.cpp.o"
+  "CMakeFiles/scaling_cpu_cores.dir/scaling_cpu_cores.cpp.o.d"
+  "scaling_cpu_cores"
+  "scaling_cpu_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_cpu_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

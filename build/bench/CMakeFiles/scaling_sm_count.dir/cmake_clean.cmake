@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_sm_count.dir/scaling_sm_count.cpp.o"
+  "CMakeFiles/scaling_sm_count.dir/scaling_sm_count.cpp.o.d"
+  "scaling_sm_count"
+  "scaling_sm_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_sm_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_graph_suite.dir/table1_graph_suite.cpp.o"
+  "CMakeFiles/table1_graph_suite.dir/table1_graph_suite.cpp.o.d"
+  "table1_graph_suite"
+  "table1_graph_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_graph_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dynamic_speedup.dir/table2_dynamic_speedup.cpp.o"
+  "CMakeFiles/table2_dynamic_speedup.dir/table2_dynamic_speedup.cpp.o.d"
+  "table2_dynamic_speedup"
+  "table2_dynamic_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dynamic_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_update_vs_recompute.dir/table3_update_vs_recompute.cpp.o"
+  "CMakeFiles/table3_update_vs_recompute.dir/table3_update_vs_recompute.cpp.o.d"
+  "table3_update_vs_recompute"
+  "table3_update_vs_recompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_update_vs_recompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

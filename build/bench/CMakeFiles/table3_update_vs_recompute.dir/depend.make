@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_update_vs_recompute.
+# This may be replaced when dependencies are built.

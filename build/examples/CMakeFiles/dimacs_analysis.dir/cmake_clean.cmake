@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimacs_analysis.dir/dimacs_analysis.cpp.o"
+  "CMakeFiles/dimacs_analysis.dir/dimacs_analysis.cpp.o.d"
+  "dimacs_analysis"
+  "dimacs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimacs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

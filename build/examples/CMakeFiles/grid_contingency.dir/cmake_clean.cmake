@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_contingency.dir/grid_contingency.cpp.o"
+  "CMakeFiles/grid_contingency.dir/grid_contingency.cpp.o.d"
+  "grid_contingency"
+  "grid_contingency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_contingency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_monitor.dir/router_monitor.cpp.o"
+  "CMakeFiles/router_monitor.dir/router_monitor.cpp.o.d"
+  "router_monitor"
+  "router_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

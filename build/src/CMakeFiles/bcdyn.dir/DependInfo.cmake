@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/emit.cpp" "src/CMakeFiles/bcdyn.dir/analysis/emit.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/analysis/emit.cpp.o.d"
+  "/root/repo/src/analysis/experiment.cpp" "src/CMakeFiles/bcdyn.dir/analysis/experiment.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/analysis/experiment.cpp.o.d"
+  "/root/repo/src/analysis/scenario_stats.cpp" "src/CMakeFiles/bcdyn.dir/analysis/scenario_stats.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/analysis/scenario_stats.cpp.o.d"
+  "/root/repo/src/analysis/touched_recorder.cpp" "src/CMakeFiles/bcdyn.dir/analysis/touched_recorder.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/analysis/touched_recorder.cpp.o.d"
+  "/root/repo/src/bc/bc_store.cpp" "src/CMakeFiles/bcdyn.dir/bc/bc_store.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/bc/bc_store.cpp.o.d"
+  "/root/repo/src/bc/brandes.cpp" "src/CMakeFiles/bcdyn.dir/bc/brandes.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/bc/brandes.cpp.o.d"
+  "/root/repo/src/bc/case_classify.cpp" "src/CMakeFiles/bcdyn.dir/bc/case_classify.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/bc/case_classify.cpp.o.d"
+  "/root/repo/src/bc/degree1_folding.cpp" "src/CMakeFiles/bcdyn.dir/bc/degree1_folding.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/bc/degree1_folding.cpp.o.d"
+  "/root/repo/src/bc/dynamic_bc.cpp" "src/CMakeFiles/bcdyn.dir/bc/dynamic_bc.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/bc/dynamic_bc.cpp.o.d"
+  "/root/repo/src/bc/dynamic_cpu.cpp" "src/CMakeFiles/bcdyn.dir/bc/dynamic_cpu.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/bc/dynamic_cpu.cpp.o.d"
+  "/root/repo/src/bc/dynamic_cpu_parallel.cpp" "src/CMakeFiles/bcdyn.dir/bc/dynamic_cpu_parallel.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/bc/dynamic_cpu_parallel.cpp.o.d"
+  "/root/repo/src/bc/dynamic_gpu.cpp" "src/CMakeFiles/bcdyn.dir/bc/dynamic_gpu.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/bc/dynamic_gpu.cpp.o.d"
+  "/root/repo/src/bc/reference.cpp" "src/CMakeFiles/bcdyn.dir/bc/reference.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/bc/reference.cpp.o.d"
+  "/root/repo/src/bc/static_gpu.cpp" "src/CMakeFiles/bcdyn.dir/bc/static_gpu.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/bc/static_gpu.cpp.o.d"
+  "/root/repo/src/bc/static_kernels.cpp" "src/CMakeFiles/bcdyn.dir/bc/static_kernels.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/bc/static_kernels.cpp.o.d"
+  "/root/repo/src/gen/copaper.cpp" "src/CMakeFiles/bcdyn.dir/gen/copaper.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/gen/copaper.cpp.o.d"
+  "/root/repo/src/gen/erdos_renyi.cpp" "src/CMakeFiles/bcdyn.dir/gen/erdos_renyi.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/gen/erdos_renyi.cpp.o.d"
+  "/root/repo/src/gen/preferential_attachment.cpp" "src/CMakeFiles/bcdyn.dir/gen/preferential_attachment.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/gen/preferential_attachment.cpp.o.d"
+  "/root/repo/src/gen/rmat.cpp" "src/CMakeFiles/bcdyn.dir/gen/rmat.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/gen/rmat.cpp.o.d"
+  "/root/repo/src/gen/router_level.cpp" "src/CMakeFiles/bcdyn.dir/gen/router_level.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/gen/router_level.cpp.o.d"
+  "/root/repo/src/gen/small_world.cpp" "src/CMakeFiles/bcdyn.dir/gen/small_world.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/gen/small_world.cpp.o.d"
+  "/root/repo/src/gen/suite.cpp" "src/CMakeFiles/bcdyn.dir/gen/suite.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/gen/suite.cpp.o.d"
+  "/root/repo/src/gen/triangulated_grid.cpp" "src/CMakeFiles/bcdyn.dir/gen/triangulated_grid.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/gen/triangulated_grid.cpp.o.d"
+  "/root/repo/src/gen/web_crawl.cpp" "src/CMakeFiles/bcdyn.dir/gen/web_crawl.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/gen/web_crawl.cpp.o.d"
+  "/root/repo/src/gpusim/block_context.cpp" "src/CMakeFiles/bcdyn.dir/gpusim/block_context.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/gpusim/block_context.cpp.o.d"
+  "/root/repo/src/gpusim/cost_model.cpp" "src/CMakeFiles/bcdyn.dir/gpusim/cost_model.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/gpusim/cost_model.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/CMakeFiles/bcdyn.dir/gpusim/device.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/gpusim/device.cpp.o.d"
+  "/root/repo/src/gpusim/kernel_stats.cpp" "src/CMakeFiles/bcdyn.dir/gpusim/kernel_stats.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/gpusim/kernel_stats.cpp.o.d"
+  "/root/repo/src/gpusim/primitives.cpp" "src/CMakeFiles/bcdyn.dir/gpusim/primitives.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/gpusim/primitives.cpp.o.d"
+  "/root/repo/src/graph/bfs.cpp" "src/CMakeFiles/bcdyn.dir/graph/bfs.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/graph/bfs.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/bcdyn.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/connected_components.cpp" "src/CMakeFiles/bcdyn.dir/graph/connected_components.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/graph/connected_components.cpp.o.d"
+  "/root/repo/src/graph/coo.cpp" "src/CMakeFiles/bcdyn.dir/graph/coo.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/graph/coo.cpp.o.d"
+  "/root/repo/src/graph/csr_graph.cpp" "src/CMakeFiles/bcdyn.dir/graph/csr_graph.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/graph/csr_graph.cpp.o.d"
+  "/root/repo/src/graph/degree_stats.cpp" "src/CMakeFiles/bcdyn.dir/graph/degree_stats.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/graph/degree_stats.cpp.o.d"
+  "/root/repo/src/graph/dynamic_graph.cpp" "src/CMakeFiles/bcdyn.dir/graph/dynamic_graph.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/graph/dynamic_graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/bcdyn.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/graph/io.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/bcdyn.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/prefix_sum.cpp" "src/CMakeFiles/bcdyn.dir/util/prefix_sum.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/util/prefix_sum.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/bcdyn.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/bcdyn.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/bcdyn.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/bcdyn.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_brandes.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_brandes.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_brandes.cpp.o.d"
+  "/root/repo/tests/test_case_classify.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_case_classify.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_case_classify.cpp.o.d"
+  "/root/repo/tests/test_cpu_parallel.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_cpu_parallel.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_cpu_parallel.cpp.o.d"
+  "/root/repo/tests/test_degree1_folding.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_degree1_folding.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_degree1_folding.cpp.o.d"
+  "/root/repo/tests/test_dynamic_bc_api.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_dynamic_bc_api.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_dynamic_bc_api.cpp.o.d"
+  "/root/repo/tests/test_dynamic_cpu.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_dynamic_cpu.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_dynamic_cpu.cpp.o.d"
+  "/root/repo/tests/test_dynamic_gpu.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_dynamic_gpu.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_dynamic_gpu.cpp.o.d"
+  "/root/repo/tests/test_dynamic_graph.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_dynamic_graph.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_dynamic_graph.cpp.o.d"
+  "/root/repo/tests/test_engine_robustness.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_engine_robustness.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_engine_robustness.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_gpusim.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_gpusim.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_gpusim.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_primitives.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_primitives.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_primitives.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_removal.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_removal.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_removal.cpp.o.d"
+  "/root/repo/tests/test_static_gpu.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_static_gpu.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_static_gpu.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/bcdyn_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/bcdyn_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bcdyn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
