@@ -27,6 +27,10 @@
 
 namespace bcdyn {
 
+// Batch-update types (bc/batch_update.hpp).
+struct BatchConfig;
+struct BatchOutcome;
+
 enum class EngineKind { kCpu, kGpuEdge, kGpuNode };
 
 const char* to_string(EngineKind kind);
@@ -59,8 +63,22 @@ class DynamicBc {
 
   /// Insert a batch of edges one at a time; returns the aggregated outcome
   /// (case counts summed, timings summed, max_touched maxed, `inserted`
-  /// true if at least one edge was new).
+  /// true if at least one edge was new). Each edge pays a full analytic
+  /// update (and, on GPU engines, a kernel launch); prefer
+  /// insert_edge_batch for streams of insertions.
   InsertOutcome insert_edges(
+      std::span<const std::pair<VertexId, VertexId>> edges);
+
+  /// Insert a batch of edges as ONE analytic update: the engine coalesces
+  /// all of the batch's work per source (a single work-queue kernel launch
+  /// on GPU engines) and falls back to static per-source recomputation when
+  /// a source's touched fraction crosses config.recompute_threshold. Final
+  /// scores equal applying the edges one at a time, in any order. Defined
+  /// in bc/batch_update.cpp.
+  BatchOutcome insert_edge_batch(
+      std::span<const std::pair<VertexId, VertexId>> edges,
+      const BatchConfig& config);
+  BatchOutcome insert_edge_batch(
       std::span<const std::pair<VertexId, VertexId>> edges);
 
   /// Remove an edge. Decremental updates are outside the paper's evaluated

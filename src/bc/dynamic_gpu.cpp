@@ -670,6 +670,76 @@ void removal_prepass(BlockContext& ctx, GpuWorkspace& ws, const Rows& rows,
 
 }  // namespace
 
+namespace detail {
+
+SourceUpdateOutcome gpu_insert_source_update(sim::BlockContext& ctx,
+                                             GpuWorkspace& ws,
+                                             Parallelism mode,
+                                             const CSRGraph& g, VertexId s,
+                                             std::span<Dist> d,
+                                             std::span<Sigma> sigma,
+                                             std::span<double> delta,
+                                             std::span<double> bc, VertexId u,
+                                             VertexId v) {
+  Rows rows{d, sigma, delta};
+  ctx.charge_read(2);
+  ctx.charge_instr(4);
+  const CaseInfo info = classify_insertion(rows.d, u, v);
+  SourceUpdateOutcome outcome;
+  outcome.update_case = info.update_case;
+  if (info.update_case == UpdateCase::kNoWork) {
+    outcome.touched = 0;
+    return outcome;
+  }
+  const bool case3 = info.update_case == UpdateCase::kFar;
+  init_kernel(ctx, ws, rows, info.u_high, info.u_low, case3);
+  if (!case3) {
+    if (mode == Parallelism::kEdge) {
+      edge_case2(ctx, g, s, rows, ws, info.u_high, info.u_low);
+    } else {
+      node_case2(ctx, g, s, rows, ws, info.u_high, info.u_low);
+    }
+  } else {
+    if (mode == Parallelism::kEdge) {
+      edge_case3(ctx, g, s, rows, ws, info.u_high, info.u_low);
+    } else {
+      node_case3(ctx, g, s, rows, ws, info.u_high, info.u_low);
+    }
+  }
+  outcome.touched = finalize_kernel(ctx, ws, rows, bc, s, case3);
+  return outcome;
+}
+
+void gpu_recompute_source(sim::BlockContext& ctx, GpuWorkspace& ws,
+                          Parallelism mode, const CSRGraph& g, VertexId s,
+                          std::span<Dist> d, std::span<Sigma> sigma,
+                          std::span<double> delta, std::span<double> bc,
+                          std::vector<VertexId>& order,
+                          std::vector<std::size_t>& level_offsets) {
+  const std::size_t n = delta.size();
+  ctx.parallel_for(n, [&](std::size_t w) {
+    ctx.charge_read(1);
+    ctx.charge_write(1);
+    ws.delta_hat[w] = delta[w];  // save old dependencies
+  });
+  if (mode == Parallelism::kEdge) {
+    static_source_edge(ctx, g, s, d, sigma, delta, {});
+  } else {
+    static_source_node(ctx, g, s, d, sigma, delta, {}, order, level_offsets);
+  }
+  ctx.parallel_for(n, [&](std::size_t w) {
+    ctx.charge_instr(2);
+    ctx.charge_read(2);
+    if (w == static_cast<std::size_t>(s)) return;
+    if (delta[w] != ws.delta_hat[w]) {
+      ctx.charge_atomic(BlockContext::make_key(4, w));
+      util::atomic_add(bc, w, delta[w] - ws.delta_hat[w]);
+    }
+  });
+}
+
+}  // namespace detail
+
 void GpuWorkspace::ensure(VertexId n) {
   const auto size = static_cast<std::size_t>(n);
   if (t.size() >= size) return;
@@ -706,33 +776,9 @@ GpuUpdateResult DynamicGpuBc::insert_edge_update(const CSRGraph& g,
     GpuWorkspace& ws = workspaces[static_cast<std::size_t>(ctx.block_id())];
     for (int si = ctx.block_id(); si < k; si += num_blocks) {
       const VertexId s = store.sources()[static_cast<std::size_t>(si)];
-      Rows rows{store.dist_row(si), store.sigma_row(si), store.delta_row(si)};
-      ctx.charge_read(2);
-      ctx.charge_instr(4);
-      const CaseInfo info = classify_insertion(rows.d, u, v);
-      auto& outcome = outcomes[static_cast<std::size_t>(si)];
-      outcome.update_case = info.update_case;
-      if (info.update_case == UpdateCase::kNoWork) {
-        outcome.touched = 0;
-        continue;
-      }
-      const bool case3 = info.update_case == UpdateCase::kFar;
-      init_kernel(ctx, ws, rows, info.u_high, info.u_low, case3);
-      if (!case3) {
-        if (mode == Parallelism::kEdge) {
-          edge_case2(ctx, g, s, rows, ws, info.u_high, info.u_low);
-        } else {
-          node_case2(ctx, g, s, rows, ws, info.u_high, info.u_low);
-        }
-      } else {
-        if (mode == Parallelism::kEdge) {
-          edge_case3(ctx, g, s, rows, ws, info.u_high, info.u_low);
-        } else {
-          node_case3(ctx, g, s, rows, ws, info.u_high, info.u_low);
-        }
-      }
-      outcome.touched =
-          finalize_kernel(ctx, ws, rows, store.bc(), s, case3);
+      outcomes[static_cast<std::size_t>(si)] = detail::gpu_insert_source_update(
+          ctx, ws, mode, g, s, store.dist_row(si), store.sigma_row(si),
+          store.delta_row(si), store.bc(), u, v);
     }
   });
   return result;
@@ -803,28 +849,9 @@ GpuUpdateResult DynamicGpuBc::remove_edge_update(const CSRGraph& g,
       // and fold the dependency differences into BC.
       outcome.update_case = UpdateCase::kFar;
       outcome.touched = g.num_vertices();
-      const std::size_t n = rows.delta.size();
-      ctx.parallel_for(n, [&](std::size_t w) {
-        ctx.charge_read(1);
-        ctx.charge_write(1);
-        ws.delta_hat[w] = rows.delta[w];  // save old dependencies
-      });
-      if (mode == Parallelism::kEdge) {
-        detail::static_source_edge(ctx, g, s, rows.d, rows.sigma, rows.delta,
-                                   {});
-      } else {
-        detail::static_source_node(ctx, g, s, rows.d, rows.sigma, rows.delta,
-                                   {}, order, level_offsets);
-      }
-      ctx.parallel_for(n, [&](std::size_t w) {
-        ctx.charge_instr(2);
-        ctx.charge_read(2);
-        if (w == static_cast<std::size_t>(s)) return;
-        if (rows.delta[w] != ws.delta_hat[w]) {
-          ctx.charge_atomic(BlockContext::make_key(4, w));
-          util::atomic_add(store.bc(), w, rows.delta[w] - ws.delta_hat[w]);
-        }
-      });
+      detail::gpu_recompute_source(ctx, ws, mode, g, s, rows.d, rows.sigma,
+                                   rows.delta, store.bc(), order,
+                                   level_offsets);
     }
   });
   return result;

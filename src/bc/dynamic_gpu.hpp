@@ -59,6 +59,11 @@ struct GpuUpdateResult {
   std::vector<SourceUpdateOutcome> outcomes;  // indexed by source index
 };
 
+// Batch-update types (bc/batch_update.hpp).
+struct BatchConfig;
+struct BatchSnapshots;
+struct GpuBatchResult;
+
 class DynamicGpuBc {
  public:
   DynamicGpuBc(sim::DeviceSpec spec, Parallelism mode,
@@ -79,6 +84,15 @@ class DynamicGpuBc {
   GpuUpdateResult remove_edge_update(const CSRGraph& g, BcStore& store,
                                      VertexId u, VertexId v);
 
+  /// Batched counterpart: one work-queue launch processes every (source,
+  /// batch) job, applying the batch's insertions per source in sequence
+  /// against the batch's incremental snapshots, with a static-recompute
+  /// fallback for sources whose touched fraction exceeds the configured
+  /// threshold. Declared here, defined in bc/batch_update.cpp alongside
+  /// the rest of the batch API.
+  GpuBatchResult insert_edge_batch(const BatchSnapshots& batch, BcStore& store,
+                                   const BatchConfig& config);
+
   const sim::DeviceSpec& spec() const { return device_.spec(); }
   Parallelism mode() const { return mode_; }
 
@@ -87,5 +101,33 @@ class DynamicGpuBc {
   Parallelism mode_;
   std::vector<GpuWorkspace> workspaces_;  // one per block
 };
+
+namespace detail {
+
+/// One insertion applied to one source row inside an existing block:
+/// classify, run the matching case kernels, fold BC deltas. Shared by the
+/// per-edge launch loop and the batch path.
+SourceUpdateOutcome gpu_insert_source_update(sim::BlockContext& ctx,
+                                             GpuWorkspace& ws,
+                                             Parallelism mode,
+                                             const CSRGraph& g, VertexId s,
+                                             std::span<Dist> d,
+                                             std::span<Sigma> sigma,
+                                             std::span<double> delta,
+                                             std::span<double> bc, VertexId u,
+                                             VertexId v);
+
+/// Recomputes source s's row from scratch on the device and folds the
+/// dependency differences into `bc`. Shared by the distance-growing removal
+/// fallback and the batch path's touched-fraction fallback. `order` and
+/// `level_offsets` are node-parallel frontier scratch.
+void gpu_recompute_source(sim::BlockContext& ctx, GpuWorkspace& ws,
+                          Parallelism mode, const CSRGraph& g, VertexId s,
+                          std::span<Dist> d, std::span<Sigma> sigma,
+                          std::span<double> delta, std::span<double> bc,
+                          std::vector<VertexId>& order,
+                          std::vector<std::size_t>& level_offsets);
+
+}  // namespace detail
 
 }  // namespace bcdyn

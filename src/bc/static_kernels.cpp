@@ -113,6 +113,14 @@ void static_source_node(sim::BlockContext& ctx, const CSRGraph& g, VertexId s,
   Dist depth = 0;
   while (level_begin < order.size()) {
     const std::size_t level_end = order.size();
+    // level_offsets[lev] must be the START of level lev's frontier. The
+    // current frontier is [level_begin, level_end), and level_offsets
+    // already ends with level_begin, so record this level's end (= the
+    // next level's start) BEFORE the scan appends the next frontier;
+    // pushing order.size() after the scan would fuse the source's level
+    // with level 1 and the dependency stage below would then skip level-1
+    // vertices entirely, losing their contributions to delta[s].
+    level_offsets.push_back(level_end);
     ctx.parallel_for(level_end - level_begin, [&](std::size_t i) {
       const auto v = static_cast<std::size_t>(order[level_begin + i]);
       ctx.charge_read(2);  // queue entry + row offset
@@ -135,7 +143,6 @@ void static_source_node(sim::BlockContext& ctx, const CSRGraph& g, VertexId s,
       }
     });
     level_begin = level_end;
-    level_offsets.push_back(order.size());
     ++depth;
   }
 

@@ -29,6 +29,9 @@ struct CostModel {
   double barrier_cycles = 40.0;       // block-wide __syncthreads()
   double block_dispatch_cycles = 800.0;   // scheduling a block onto an SM
   double kernel_launch_cycles = 6000.0;   // host-side launch overhead
+  double job_pop_cycles = 40.0;  // work-queue pop: one warp-aggregated
+                                 // atomic on the queue head plus the branch
+                                 // back to the persistent block's main loop
 
   // Aggregate memory-throughput terms, charged per round on the *sum* of
   // the round's accesses (the per-access costs above enter the round's

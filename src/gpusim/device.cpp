@@ -66,4 +66,55 @@ KernelStats Device::launch(int num_blocks, const Kernel& kernel) {
   return stats;
 }
 
+KernelStats Device::launch_queue(int num_jobs, const JobKernel& kernel,
+                                 std::vector<BlockCounters>* per_job) {
+  const int lanes = std::max(1, std::min(spec_.num_sms, num_jobs));
+  std::vector<BlockContext> contexts;
+  contexts.reserve(static_cast<std::size_t>(std::max(num_jobs, 0)));
+  for (int j = 0; j < num_jobs; ++j) {
+    contexts.emplace_back(spec_, cost_, j % lanes, track_conflicts_);
+  }
+
+  // Host execution partitions jobs round-robin over `lanes` sequential
+  // streams so that contexts sharing a block_id (and therefore any
+  // per-lane engine workspace) never run concurrently. The partition does
+  // not affect modeled time: each job's cycles depend only on the job.
+  auto run_lane = [&](int lane) {
+    for (int j = lane; j < num_jobs; j += lanes) {
+      kernel(contexts[static_cast<std::size_t>(j)], j);
+    }
+  };
+  if (pool_) {
+    for (int lane = 0; lane < lanes; ++lane) {
+      pool_->submit([&run_lane, lane] { run_lane(lane); });
+    }
+    pool_->wait_idle();
+  } else {
+    for (int lane = 0; lane < lanes; ++lane) run_lane(lane);
+  }
+
+  KernelStats stats;
+  stats.num_blocks = lanes;
+  std::vector<double> job_cycles;
+  job_cycles.reserve(contexts.size());
+  for (const auto& ctx : contexts) {
+    stats.total += ctx.counters();
+    stats.max_block_cycles = std::max(stats.max_block_cycles, ctx.cycles());
+    job_cycles.push_back(ctx.cycles());
+  }
+  // The persistent blocks dispatch once, concurrently, before draining the
+  // queue; after that each job costs its cycles plus a queue pop.
+  stats.makespan_cycles =
+      cost_.kernel_launch_cycles + cost_.block_dispatch_cycles +
+      schedule_makespan(job_cycles, spec_.num_sms, cost_.job_pop_cycles);
+  stats.seconds = stats.makespan_cycles / (spec_.clock_ghz * 1e9);
+  accumulated_ += stats;
+  if (per_job) {
+    per_job->clear();
+    per_job->reserve(contexts.size());
+    for (const auto& ctx : contexts) per_job->push_back(ctx.counters());
+  }
+  return stats;
+}
+
 }  // namespace bcdyn::sim

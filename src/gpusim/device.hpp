@@ -38,6 +38,24 @@ class Device {
   /// BlockContext::block_id(). Blocking; returns the launch's stats.
   KernelStats launch(int num_blocks, const Kernel& kernel);
 
+  using JobKernel = std::function<void(BlockContext&, int)>;
+
+  /// Work-queue launch (persistent-block style): one resident block per SM
+  /// pops job ids off a global queue in order, so an SM that finishes a
+  /// short job immediately takes the next one - the multi-source scheduler
+  /// behind batched updates. `kernel(ctx, job)` must key its work off `job`;
+  /// `ctx.block_id()` identifies the resident block (use it to pick a
+  /// per-lane workspace; two jobs on the same lane never run concurrently).
+  ///
+  /// Modeled time: one kernel launch, one concurrent dispatch of the
+  /// persistent blocks, then a greedy next-free-SM schedule over the
+  /// per-job cycle counts with a queue-pop charge per job. Per-job cycle
+  /// counts are deterministic and independent of lane assignment. When
+  /// `per_job` is non-null it receives each job's counters, indexed by
+  /// queue position.
+  KernelStats launch_queue(int num_jobs, const JobKernel& kernel,
+                           std::vector<BlockCounters>* per_job = nullptr);
+
   /// Cumulative stats across all launches since construction/reset.
   const KernelStats& accumulated() const { return accumulated_; }
   void reset_accumulated() { accumulated_ = {}; }

@@ -1,0 +1,139 @@
+// Randomized differential fuzz harness: for every generator in the
+// gen/suite, drive a seeded random insertion stream through all four
+// update paths - sequential CPU, GPU edge-parallel, GPU node-parallel, and
+// the batched path - and after EVERY step compare the full store (d,
+// sigma, delta, BC) against a fresh brandes_all on the current graph. Any
+// divergence pinpoints the step, source and vertex that first disagreed.
+//
+// Built as its own executable (bcdyn_fuzz_tests, ctest label "fuzz") so
+// the heavier randomized sweep can be filtered in or out:
+//   ctest -L fuzz              # just the fuzzers
+//   ctest -LE fuzz             # everything else
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "bc/batch_update.hpp"
+#include "bc/brandes.hpp"
+#include "bc/dynamic_cpu.hpp"
+#include "bc/dynamic_gpu.hpp"
+#include "gen/suite.hpp"
+#include "test_helpers.hpp"
+
+namespace bcdyn {
+namespace {
+
+constexpr int kSteps = 32;
+constexpr int kBatchFlush = 5;  // batch path flushes every 5 pending edges
+constexpr double kScale = 0.005;  // suite minimums kick in: ~256 vertices
+constexpr int kNumSources = 8;
+
+struct PathState {
+  std::string name;
+  BcStore store;
+
+  PathState(std::string n, VertexId num_vertices, const ApproxConfig& cfg)
+      : name(std::move(n)), store(num_vertices, cfg) {}
+};
+
+void expect_store_matches(const BcStore& got, const BcStore& want,
+                          const std::string& path, int step) {
+  for (int si = 0; si < got.num_sources(); ++si) {
+    const auto d_g = got.dist_row(si);
+    const auto d_w = want.dist_row(si);
+    const auto sg_g = got.sigma_row(si);
+    const auto sg_w = want.sigma_row(si);
+    const auto dl_g = got.delta_row(si);
+    const auto dl_w = want.delta_row(si);
+    for (std::size_t v = 0; v < d_g.size(); ++v) {
+      ASSERT_EQ(d_g[v], d_w[v])
+          << path << " dist step=" << step << " si=" << si << " v=" << v;
+      ASSERT_DOUBLE_EQ(sg_g[v], sg_w[v])
+          << path << " sigma step=" << step << " si=" << si << " v=" << v;
+      ASSERT_NEAR(dl_g[v], dl_w[v],
+                  1e-7 * std::max(1.0, std::abs(dl_w[v])))
+          << path << " delta step=" << step << " si=" << si << " v=" << v;
+    }
+  }
+  const auto bc_g = got.bc();
+  const auto bc_w = want.bc();
+  for (std::size_t v = 0; v < bc_g.size(); ++v) {
+    ASSERT_NEAR(bc_g[v], bc_w[v], 1e-6 * std::max(1.0, std::abs(bc_w[v])))
+        << path << " bc step=" << step << " v=" << v;
+  }
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DifferentialFuzz, AllPathsMatchFreshRecomputeAfterEveryStep) {
+  const std::string gen_name = GetParam();
+  const auto entry = gen::build_suite_graph(gen_name, kScale, 977);
+  CSRGraph g = entry.graph;
+  const VertexId n = g.num_vertices();
+  const ApproxConfig cfg{.num_sources = kNumSources, .seed = 31};
+
+  PathState cpu("cpu", n, cfg);
+  PathState edge("gpu-edge", n, cfg);
+  PathState node("gpu-node", n, cfg);
+  PathState batch("batch", n, cfg);
+  for (auto* p : {&cpu, &edge, &node, &batch}) brandes_all(g, p->store);
+
+  DynamicCpuEngine cpu_engine(n);
+  DynamicGpuBc edge_engine(sim::DeviceSpec::tesla_c2075(), Parallelism::kEdge);
+  DynamicGpuBc node_engine(sim::DeviceSpec::tesla_c2075(), Parallelism::kNode);
+  DynamicGpuBc batch_engine(sim::DeviceSpec::tesla_c2075(),
+                            Parallelism::kEdge);
+
+  // The batch path lags: pending edges accumulate against batch_base and
+  // are flushed through insert_edge_batch every kBatchFlush steps (and at
+  // the end), after which its store must agree with everyone else's.
+  CSRGraph batch_base = g;
+  std::vector<std::pair<VertexId, VertexId>> pending;
+  // Alternate a tight and a loose threshold between flushes so the fuzzer
+  // exercises both the incremental path and the recompute fallback.
+  int flushes = 0;
+
+  util::Rng rng(978 + std::hash<std::string>{}(gen_name) % 1000);
+  for (int step = 0; step < kSteps; ++step) {
+    const auto [u, v] = test::random_absent_edge(g, rng);
+    if (u == kNoVertex) break;
+    g = g.with_edge(u, v);
+
+    for (int si = 0; si < cpu.store.num_sources(); ++si) {
+      const VertexId s = cpu.store.sources()[static_cast<std::size_t>(si)];
+      cpu_engine.update_source(g, s, cpu.store.dist_row(si),
+                               cpu.store.sigma_row(si),
+                               cpu.store.delta_row(si), cpu.store.bc(), u, v);
+    }
+    edge_engine.insert_edge_update(g, edge.store, u, v);
+    node_engine.insert_edge_update(g, node.store, u, v);
+    pending.emplace_back(u, v);
+
+    BcStore fresh(n, cfg);
+    brandes_all(g, fresh);
+    expect_store_matches(cpu.store, fresh, cpu.name, step);
+    expect_store_matches(edge.store, fresh, edge.name, step);
+    expect_store_matches(node.store, fresh, node.name, step);
+
+    const bool last = step + 1 == kSteps;
+    if (static_cast<int>(pending.size()) == kBatchFlush || last) {
+      const auto snapshots = build_batch_snapshots(batch_base, pending);
+      ASSERT_EQ(snapshots.edges.size(), pending.size());
+      const BatchConfig flush_cfg{flushes % 2 == 0 ? 0.25 : 0.02};
+      batch_engine.insert_edge_batch(snapshots, batch.store, flush_cfg);
+      batch_base = g;
+      pending.clear();
+      ++flushes;
+      expect_store_matches(batch.store, fresh, batch.name, step);
+    }
+  }
+  EXPECT_GT(flushes, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, DifferentialFuzz,
+                         ::testing::ValuesIn(gen::suite_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace bcdyn

@@ -163,6 +163,86 @@ TEST(Device, AccumulatedStatsSumLaunches) {
   EXPECT_EQ(dev.accumulated().total.global_writes, 0u);
 }
 
+TEST(Device, LaunchQueueAggregatesAndReportsPerJobStats) {
+  Device dev(tiny_spec(2, 4));
+  std::vector<BlockCounters> per_job;
+  const auto stats = dev.launch_queue(
+      5,
+      [](BlockContext& ctx, int job) {
+        ctx.parallel_for(static_cast<std::size_t>(job) + 1,
+                         [&](std::size_t) { ctx.charge_read(1); });
+      },
+      &per_job);
+  // Lanes = min(num_sms, num_jobs) = 2 persistent blocks.
+  EXPECT_EQ(stats.num_blocks, 2);
+  ASSERT_EQ(per_job.size(), 5u);
+  std::uint64_t reads = 0;
+  double cycles = 0.0;
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_EQ(per_job[static_cast<std::size_t>(j)].global_reads,
+              static_cast<std::uint64_t>(j) + 1);
+    reads += per_job[static_cast<std::size_t>(j)].global_reads;
+    cycles += per_job[static_cast<std::size_t>(j)].cycles;
+  }
+  EXPECT_EQ(stats.total.global_reads, reads);
+  EXPECT_DOUBLE_EQ(stats.total.cycles, cycles);
+  EXPECT_GT(stats.makespan_cycles, 0.0);
+}
+
+TEST(Device, LaunchQueuePaysOneLaunchOverhead) {
+  CostModel cm;
+  const auto noop = [](BlockContext&, int) {};
+  Device dev(tiny_spec(2, 4), cm);
+  const auto one = dev.launch_queue(1, noop);
+  const auto many = dev.launch_queue(8, noop);
+  // Zero-cost jobs: makespan is launch + dispatch (+ per-job pops), so 8
+  // jobs through one queue launch cost far less than 8 separate launches.
+  EXPECT_LT(many.makespan_cycles, 8.0 * one.makespan_cycles);
+  EXPECT_GE(many.makespan_cycles,
+            cm.kernel_launch_cycles + cm.block_dispatch_cycles);
+}
+
+TEST(Device, LaunchQueueBeatsPerJobLaunchesOnImbalancedJobs) {
+  // 4 jobs on 2 SMs: one heavy job plus three light ones. One queue launch
+  // pays the kernel-launch overhead once and overlaps the light jobs with
+  // the heavy one; per-job launches pay the overhead four times and never
+  // overlap jobs.
+  const auto work = [](BlockContext& ctx, int job) {
+    const std::size_t items = job == 0 ? 300 : 10;
+    ctx.parallel_for(items, [&](std::size_t) { ctx.charge_read(1); });
+  };
+  Device queue_dev(tiny_spec(2, 4));
+  const auto queued = queue_dev.launch_queue(4, work);
+  Device launch_dev(tiny_spec(2, 4));
+  double per_job = 0.0;
+  for (int j = 0; j < 4; ++j) {
+    per_job += launch_dev
+                   .launch(1, [&](BlockContext& ctx) { work(ctx, j); })
+                   .makespan_cycles;
+  }
+  EXPECT_LT(queued.makespan_cycles, per_job);
+  // And the work itself is identical either way.
+  EXPECT_EQ(queued.total.global_reads,
+            launch_dev.accumulated().total.global_reads);
+}
+
+TEST(Device, LaunchQueueMatchesInlineAcrossWorkerCounts) {
+  const auto kernel = [](BlockContext& ctx, int job) {
+    ctx.parallel_for(20 + static_cast<std::size_t>(job) * 7,
+                     [&](std::size_t i) {
+                       ctx.charge_read(1);
+                       if (i % 5 == 0) ctx.charge_atomic(i);
+                     });
+  };
+  Device inline_dev(tiny_spec(4, 8));
+  Device pooled(tiny_spec(4, 8), CostModel{}, /*host_workers=*/3);
+  const auto a = inline_dev.launch_queue(9, kernel);
+  const auto b = pooled.launch_queue(9, kernel);
+  EXPECT_EQ(a.total.global_reads, b.total.global_reads);
+  EXPECT_EQ(a.total.atomics, b.total.atomics);
+  EXPECT_DOUBLE_EQ(a.makespan_cycles, b.makespan_cycles);
+}
+
 TEST(CostModel, CpuSecondsLinearInOps) {
   CostModel cm;
   const double t1 = cpu_seconds(cm, 1000, 0, 0);
