@@ -98,6 +98,11 @@ int main(int argc, char** argv) {
           run_mode(stream, batch, approx, mode, spec, config);
       std::cerr << " done\n";
       const double speedup = r.single_seconds / r.batch_seconds;
+      const std::string key = entry.name + "." + to_string(mode);
+      bench::record_result("batch", key, "single_seconds", r.single_seconds);
+      bench::record_result("batch", key, "batch_seconds", r.batch_seconds);
+      bench::record_result("batch", key, "speedup", speedup);
+      bench::record_result("batch", key, "recomputed_sources", r.recomputed);
       geo += std::log(speedup);
       ++count;
       all_faster = all_faster && r.batch_seconds < r.single_seconds;
@@ -115,6 +120,8 @@ int main(int argc, char** argv) {
                               ? ""
                               : cfg.csv_dir + "/bench_batch_update.csv";
   analysis::emit_table(table, csv);
+  trace::metrics().set_gauge("batch.geomean_speedup", std::exp(geo / count));
+  bench::emit_metrics(cfg);
   std::cout << "Geo-mean batch speedup over single-edge launches: "
             << util::Table::fmt(std::exp(geo / count), 2) << "x\n";
   if (!all_match) {

@@ -10,6 +10,7 @@
 //   --sources=K      BC approximation sources (paper: 256; default 32)
 //   --seed=S         master seed (default 7)
 //   --csv=DIR        also write CSV outputs into DIR
+//   --metrics=PATH   write bench results + run telemetry as metrics JSON
 //   --verify         cross-check engines' final scores where applicable
 #pragma once
 
@@ -23,6 +24,7 @@
 #include "gen/suite.hpp"
 #include "graph/degree_stats.hpp"
 #include "graph/io.hpp"
+#include "trace/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -36,6 +38,7 @@ struct CommonConfig {
   int sources = 32;
   std::uint64_t seed = 7;
   std::string csv_dir;
+  std::string metrics_path;
   bool verify = false;
 };
 
@@ -47,6 +50,7 @@ inline CommonConfig parse_common(const util::Cli& cli) {
   cfg.sources = static_cast<int>(cli.get_int("sources", cfg.sources));
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   cfg.csv_dir = cli.get("csv", "");
+  cfg.metrics_path = cli.get("metrics", "");
   cfg.verify = cli.get_bool("verify", false);
   const std::string graphs = cli.get("graphs", "");
   if (graphs.empty()) {
@@ -99,6 +103,21 @@ inline void print_graph_summary(const std::vector<gen::SuiteEntry>& graphs) {
 inline void warn_unused(const util::Cli& cli) {
   for (const auto& key : cli.unused_keys()) {
     std::cerr << "warning: unrecognized flag --" << key << "\n";
+  }
+}
+
+/// Records one headline bench result as a stable-keyed gauge
+/// (`<bench>.<graph>.<key>`) destined for the --metrics JSON file.
+inline void record_result(const std::string& bench, const std::string& graph,
+                          const std::string& key, double value) {
+  trace::metrics().set_gauge(bench + "." + graph + "." + key, value);
+}
+
+/// Writes the metrics JSON when --metrics was given (no-op otherwise).
+inline void emit_metrics(const CommonConfig& cfg) {
+  if (analysis::emit_metrics_json(cfg.metrics_path) &&
+      !cfg.metrics_path.empty()) {
+    std::cout << "metrics JSON -> " << cfg.metrics_path << "\n";
   }
 }
 

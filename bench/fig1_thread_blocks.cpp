@@ -57,6 +57,9 @@ int main(int argc, char** argv) {
                                           static_cast<int>(b));
         if (base == 0.0) base = stats.seconds;
         row.push_back(util::Table::fmt_speedup(base / stats.seconds));
+        bench::record_result(
+            "fig1", "sm" + std::to_string(spec.num_sms) + "." + entry.name,
+            "b" + std::to_string(b) + ".seconds", stats.seconds);
         std::fprintf(stderr, "  %s/%s blocks=%lld: %.4fs\n",
                      spec.name.c_str(), entry.name.c_str(),
                      static_cast<long long>(b), stats.seconds);
@@ -68,6 +71,7 @@ int main(int argc, char** argv) {
   analysis::print_header(
       "Figure 1: static BC speedup relative to one thread block");
   analysis::emit_table(table, bench::csv_path(cfg, "fig1_thread_blocks"));
+  bench::emit_metrics(cfg);
   std::cout << "\nExpected shape: speedup rises until #blocks = #SMs (7 or "
                "14), then plateaus at multiples of the SM count.\n";
   return 0;

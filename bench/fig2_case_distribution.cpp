@@ -30,6 +30,13 @@ int main(int argc, char** argv) {
     const auto run = analysis::run_cpu_dynamic(stream, approx);
     const auto& s = run.scenarios;
     overall += s;
+    bench::record_result("fig2", entry.name, "scenarios", s.total());
+    bench::record_result("fig2", entry.name, "case1_fraction",
+                         s.fraction_case(1));
+    bench::record_result("fig2", entry.name, "case2_fraction",
+                         s.fraction_case(2));
+    bench::record_result("fig2", entry.name, "case3_fraction",
+                         s.fraction_case(3));
     table.add_row({entry.name, std::to_string(s.total()),
                    util::Table::fmt(100.0 * s.fraction_case(1), 1) + "%",
                    util::Table::fmt(100.0 * s.fraction_case(2), 1) + "%",
@@ -45,6 +52,9 @@ int main(int argc, char** argv) {
 
   analysis::print_header("Figure 2: distribution of update scenarios");
   analysis::emit_table(table, bench::csv_path(cfg, "fig2_case_distribution"));
+  trace::metrics().set_gauge("fig2.all.case2_share_of_work",
+                             overall.case2_share_of_work());
+  bench::emit_metrics(cfg);
   std::cout << "\nPaper (its suite/scale): Case 2 = 37.3% of all scenarios, "
                "73.5% of work-requiring (Case 2+3) scenarios.\n";
   return 0;

@@ -38,6 +38,12 @@ int main(int argc, char** argv) {
     const double p90 =
         sorted.empty() ? 0.0 : sorted[sorted.size() * 9 / 10];
     global_max = std::max(global_max, rec.max_fraction());
+    bench::record_result("fig4", entry.name, "scenarios", rec.count());
+    bench::record_result("fig4", entry.name, "max_touched",
+                         rec.max_fraction());
+    bench::record_result("fig4", entry.name, "median_touched",
+                         rec.median_fraction());
+    bench::record_result("fig4", entry.name, "p90_touched", p90);
     table.add_row({entry.name, std::to_string(rec.count()),
                    util::Table::fmt(100.0 * rec.max_fraction(), 2) + "%",
                    util::Table::fmt(100.0 * rec.median_fraction(), 3) + "%",
@@ -58,6 +64,7 @@ int main(int argc, char** argv) {
     std::ofstream out(bench::csv_path(cfg, "fig4_touched_scatter"));
     if (out) scatter.print_csv(out);
   }
+  bench::emit_metrics(cfg);
   std::cout << "\nTotal Case 2 scenarios observed: " << total_scenarios
             << "; global max touched fraction: "
             << util::Table::fmt(100.0 * global_max, 2)

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "trace/metrics.hpp"
+
 namespace bcdyn::analysis {
 
 void print_header(const std::string& title) {
@@ -19,6 +21,17 @@ bool emit_table(const util::Table& table, const std::string& csv_path) {
   }
   table.print_csv(out);
   return true;
+}
+
+bool emit_metrics_json(const std::string& path) {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return false;
+  }
+  trace::metrics().write_json(out);
+  return out.good();
 }
 
 }  // namespace bcdyn::analysis

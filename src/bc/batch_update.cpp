@@ -9,6 +9,7 @@
 #include "bc/dynamic_cpu_parallel.hpp"
 #include "bc/dynamic_gpu.hpp"
 #include "gpusim/cost_model.hpp"
+#include "trace/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace bcdyn {
@@ -226,7 +227,8 @@ GpuBatchResult DynamicGpuBc::insert_edge_batch(const BatchSnapshots& batch,
                                            bfs_order, level_offsets);
             });
       },
-      &result.job_stats);
+      &result.job_stats,
+      mode_ == Parallelism::kEdge ? "batch.edge" : "batch.node");
   return result;
 }
 
@@ -237,6 +239,9 @@ BatchOutcome DynamicBc::insert_edge_batch(
     throw std::logic_error(
         "DynamicBc::compute() must run before insert_edge_batch");
   }
+  trace::Span span("bc.insert_edge_batch", "bc",
+                   {{"edges", static_cast<double>(edges.size())},
+                    {"threshold", config.recompute_threshold}});
   util::Stopwatch structure_clock;
   BatchOutcome outcome;
   std::vector<std::pair<VertexId, VertexId>> accepted;

@@ -112,7 +112,10 @@ namespace detail {
 /// The per-source batch driver shared by every engine: applies edge i via
 /// `update(i)` (which returns that edge's SourceUpdateOutcome) and, when
 /// the cumulative touched fraction crosses the threshold with edges still
-/// pending, calls `recompute()` once and stops.
+/// pending, calls `recompute()` once and stops. Being the single funnel
+/// for every engine's batch jobs, this is also where the batch.* metrics
+/// are recorded (batch.touched_fraction is cumulative over the job's
+/// edges, so samples above 1.0 are legitimate).
 template <typename UpdateFn, typename RecomputeFn>
 SourceBatchOutcome run_source_batch(std::size_t num_edges, VertexId n,
                                     const BatchConfig& config,
@@ -143,6 +146,13 @@ SourceBatchOutcome run_source_batch(std::size_t num_edges, VertexId n,
       break;
     }
   }
+  auto& reg = trace::metrics();
+  reg.add("batch.jobs.count");
+  if (out.recomputed) reg.add("batch.fallback_recompute.count");
+  reg.observe("batch.touched_fraction",
+              n > 0 ? static_cast<double>(out.touched_total) /
+                          static_cast<double>(n)
+                    : 0.0);
   return out;
 }
 

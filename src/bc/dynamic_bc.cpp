@@ -5,6 +5,7 @@
 
 #include "bc/brandes.hpp"
 #include "gpusim/cost_model.hpp"
+#include "trace/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace bcdyn {
@@ -22,7 +23,7 @@ const char* to_string(EngineKind kind) {
 }
 
 DynamicBc::DynamicBc(const CSRGraph& g, ApproxConfig config, EngineKind engine,
-                     sim::DeviceSpec device_spec)
+                     sim::DeviceSpec device_spec, bool track_atomic_conflicts)
     : dyn_(DynamicGraph::from_csr(g)),
       csr_(g),
       store_(g.num_vertices(), config),
@@ -36,16 +37,21 @@ DynamicBc::DynamicBc(const CSRGraph& g, ApproxConfig config, EngineKind engine,
       const Parallelism mode = engine_ == EngineKind::kGpuEdge
                                    ? Parallelism::kEdge
                                    : Parallelism::kNode;
-      gpu_engine_ =
-          std::make_unique<DynamicGpuBc>(device_spec, mode, cost_model_);
-      gpu_static_ =
-          std::make_unique<StaticGpuBc>(device_spec, mode, cost_model_);
+      gpu_engine_ = std::make_unique<DynamicGpuBc>(
+          device_spec, mode, cost_model_, /*host_workers=*/0,
+          track_atomic_conflicts);
+      gpu_static_ = std::make_unique<StaticGpuBc>(
+          device_spec, mode, cost_model_, /*host_workers=*/0,
+          track_atomic_conflicts);
       break;
     }
   }
 }
 
 void DynamicBc::compute() {
+  trace::Span span("bc.compute", "bc",
+                   {{"n", static_cast<double>(csr_.num_vertices())},
+                    {"sources", static_cast<double>(store_.num_sources())}});
   recompute();
   computed_ = true;
 }
@@ -62,6 +68,9 @@ InsertOutcome DynamicBc::insert_edge(VertexId u, VertexId v) {
   if (!computed_) {
     throw std::logic_error("DynamicBc::compute() must run before insert_edge");
   }
+  trace::Span span("bc.insert_edge", "bc",
+                   {{"u", static_cast<double>(u)},
+                    {"v", static_cast<double>(v)}});
   util::Stopwatch structure_clock;
   InsertOutcome outcome;
   if (!dyn_.insert_edge(u, v)) {
@@ -110,6 +119,7 @@ double DynamicBc::verify_against_recompute() const {
 }
 
 InsertOutcome DynamicBc::run_update(VertexId u, VertexId v) {
+  trace::Span span("bc.run_update", "bc");
   InsertOutcome outcome;
   util::Stopwatch clock;
   if (engine_ == EngineKind::kCpu) {
@@ -161,6 +171,9 @@ InsertOutcome DynamicBc::remove_edge(VertexId u, VertexId v) {
   if (!computed_) {
     throw std::logic_error("DynamicBc::compute() must run before remove_edge");
   }
+  trace::Span span("bc.remove_edge", "bc",
+                   {{"u", static_cast<double>(u)},
+                    {"v", static_cast<double>(v)}});
   util::Stopwatch structure_clock;
   InsertOutcome outcome;
   if (!dyn_.remove_edge(u, v)) {

@@ -50,9 +50,14 @@ struct InsertOutcome {
 class DynamicBc {
  public:
   /// Snapshot `g`; the analytic owns its own dynamic copy of the graph.
+  /// `track_atomic_conflicts` turns on the simulator's per-address atomic
+  /// conflict accounting (observability only - it feeds the
+  /// sim.atomic_conflicts.* metrics and the bcdyn_trace report, never the
+  /// modeled results).
   DynamicBc(const CSRGraph& g, ApproxConfig config,
             EngineKind engine = EngineKind::kCpu,
-            sim::DeviceSpec device_spec = sim::DeviceSpec::tesla_c2075());
+            sim::DeviceSpec device_spec = sim::DeviceSpec::tesla_c2075(),
+            bool track_atomic_conflicts = false);
 
   /// Initial static computation (fills the per-source store and scores).
   /// Must be called (once) before insert_edge.

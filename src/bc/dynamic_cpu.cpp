@@ -68,15 +68,16 @@ SourceUpdateOutcome DynamicCpuEngine::update_source(
 
   SourceUpdateOutcome outcome;
   outcome.update_case = info.update_case;
-  if (info.update_case == UpdateCase::kNoWork) return outcome;
-
-  if (info.update_case == UpdateCase::kAdjacent && !force_general) {
-    outcome.touched =
-        case2_update(g, s, dist, sigma, delta, bc, info.u_high, info.u_low);
-  } else {
-    outcome.touched =
-        case3_update(g, s, dist, sigma, delta, bc, info.u_high, info.u_low);
+  if (info.update_case != UpdateCase::kNoWork) {
+    if (info.update_case == UpdateCase::kAdjacent && !force_general) {
+      outcome.touched =
+          case2_update(g, s, dist, sigma, delta, bc, info.u_high, info.u_low);
+    } else {
+      outcome.touched =
+          case3_update(g, s, dist, sigma, delta, bc, info.u_high, info.u_low);
+    }
   }
+  record_source_update_metrics(outcome, n_);
   return outcome;
 }
 
@@ -96,6 +97,7 @@ SourceUpdateOutcome DynamicCpuEngine::remove_update_source(
     // Same level (or both unreachable): the edge was never on a shortest
     // path from s, so nothing changes.
     outcome.update_case = UpdateCase::kNoWork;
+    record_source_update_metrics(outcome, n_);
     return outcome;
   }
   // The edge existed, so the stored levels differ by exactly one.
@@ -117,6 +119,7 @@ SourceUpdateOutcome DynamicCpuEngine::remove_update_source(
   if (has_other_parent) {
     outcome.update_case = UpdateCase::kAdjacent;
     outcome.touched = case2_removal(g, s, dist, sigma, delta, bc, u_high, u_low);
+    record_source_update_metrics(outcome, n_);
     return outcome;
   }
 
@@ -136,6 +139,7 @@ SourceUpdateOutcome DynamicCpuEngine::remove_update_source(
   }
   ops_.reads += 2 * n + static_cast<std::uint64_t>(g.num_arcs()) * 4;
   ops_.writes += 3 * n;
+  record_source_update_metrics(outcome, n_);
   return outcome;
 }
 

@@ -26,6 +26,7 @@
 
 #include "bc/case_classify.hpp"
 #include "graph/csr_graph.hpp"
+#include "trace/metrics.hpp"
 #include "util/types.hpp"
 
 namespace bcdyn {
@@ -50,6 +51,31 @@ struct SourceUpdateOutcome {
   UpdateCase update_case = UpdateCase::kNoWork;
   VertexId touched = 0;  // |{v : t[v] != untouched}| (0 for Case 1)
 };
+
+/// Case-mix telemetry shared by every engine and update direction: one
+/// bc.caseN.count bump plus a bc.touched_fraction sample per (source,
+/// edge) update. Recorded at the lowest shared layer so the single-edge,
+/// removal, and batch paths all land in the same counters, and the
+/// invariant case1+case2+case3 == per-source updates holds by
+/// construction (the differential fuzzer asserts it).
+inline void record_source_update_metrics(const SourceUpdateOutcome& r,
+                                         VertexId n) {
+  auto& reg = trace::metrics();
+  switch (r.update_case) {
+    case UpdateCase::kNoWork:
+      reg.add("bc.case1.count");
+      break;
+    case UpdateCase::kAdjacent:
+      reg.add("bc.case2.count");
+      break;
+    case UpdateCase::kFar:
+      reg.add("bc.case3.count");
+      break;
+  }
+  reg.observe("bc.touched_fraction",
+              n > 0 ? static_cast<double>(r.touched) / static_cast<double>(n)
+                    : 0.0);
+}
 
 class DynamicCpuEngine {
  public:

@@ -4,6 +4,8 @@
 
 #include "bc/static_kernels.hpp"
 #include "gpusim/primitives.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/atomic_double.hpp"
 
 namespace bcdyn {
@@ -11,6 +13,16 @@ namespace bcdyn {
 namespace {
 
 using sim::BlockContext;
+
+/// Per-BFS-level frontier telemetry for the node-parallel kernels. Gated
+/// on the tracer (not the always-on registry) because it fires once per
+/// level per source and is only interesting when a trace is being taken.
+inline void observe_frontier(std::size_t frontier_size) {
+  if (trace::tracer().enabled()) {
+    trace::metrics().observe("bc.frontier_size",
+                             static_cast<double>(frontier_size));
+  }
+}
 
 constexpr std::uint8_t kUntouched = 0;
 constexpr std::uint8_t kDown = 1;
@@ -191,6 +203,7 @@ void node_case2(BlockContext& ctx, const CSRGraph& g, VertexId s,
   // touch test and Q2 is duplicate-free; the remove_duplicates pipeline is
   // still executed and charged because the algorithm cannot know that.)
   while (!ws.q.empty()) {
+    observe_frontier(ws.q.size());
     ws.q2.clear();
     ctx.parallel_for(ws.q.size(), [&](std::size_t i) {
       const auto v = static_cast<std::size_t>(ws.q[i]);
@@ -310,6 +323,7 @@ void node_case3(BlockContext& ctx, const CSRGraph& g, VertexId s,
   // Phase A: ascending levels; two sub-kernels per level.
   Dist level = level0;
   while (!ws.q.empty()) {
+    observe_frontier(ws.q.size());
     // A1: recompute sigma-hat of frontier vertices from their new parents
     // (single writer per vertex: no atomics needed). Also classifies
     // RESET = moved or sigma changed.
@@ -689,6 +703,7 @@ SourceUpdateOutcome gpu_insert_source_update(sim::BlockContext& ctx,
   outcome.update_case = info.update_case;
   if (info.update_case == UpdateCase::kNoWork) {
     outcome.touched = 0;
+    record_source_update_metrics(outcome, g.num_vertices());
     return outcome;
   }
   const bool case3 = info.update_case == UpdateCase::kFar;
@@ -707,6 +722,7 @@ SourceUpdateOutcome gpu_insert_source_update(sim::BlockContext& ctx,
     }
   }
   outcome.touched = finalize_kernel(ctx, ws, rows, bc, s, case3);
+  record_source_update_metrics(outcome, g.num_vertices());
   return outcome;
 }
 
@@ -780,7 +796,7 @@ GpuUpdateResult DynamicGpuBc::insert_edge_update(const CSRGraph& g,
           ctx, ws, mode, g, s, store.dist_row(si), store.sigma_row(si),
           store.delta_row(si), store.bc(), u, v);
     }
-  });
+  }, mode_ == Parallelism::kEdge ? "insert.edge" : "insert.node");
   return result;
 }
 
@@ -813,6 +829,7 @@ GpuUpdateResult DynamicGpuBc::remove_edge_update(const CSRGraph& g,
         // The edge was never on a shortest path from this source.
         outcome.update_case = UpdateCase::kNoWork;
         outcome.touched = 0;
+        record_source_update_metrics(outcome, g.num_vertices());
         continue;
       }
       const VertexId u_high = du < dv ? u : v;
@@ -842,6 +859,7 @@ GpuUpdateResult DynamicGpuBc::remove_edge_update(const CSRGraph& g,
         }
         outcome.touched =
             finalize_kernel(ctx, ws, rows, store.bc(), s, /*case3=*/false);
+        record_source_update_metrics(outcome, g.num_vertices());
         continue;
       }
 
@@ -852,8 +870,9 @@ GpuUpdateResult DynamicGpuBc::remove_edge_update(const CSRGraph& g,
       detail::gpu_recompute_source(ctx, ws, mode, g, s, rows.d, rows.sigma,
                                    rows.delta, store.bc(), order,
                                    level_offsets);
+      record_source_update_metrics(outcome, g.num_vertices());
     }
-  });
+  }, mode_ == Parallelism::kEdge ? "remove.edge" : "remove.node");
   return result;
 }
 

@@ -8,8 +8,10 @@
 namespace bcdyn {
 
 StaticGpuBc::StaticGpuBc(sim::DeviceSpec spec, Parallelism mode,
-                         sim::CostModel cost, int host_workers)
-    : device_(std::move(spec), cost, host_workers), mode_(mode) {}
+                         sim::CostModel cost, int host_workers,
+                         bool track_atomic_conflicts)
+    : device_(std::move(spec), cost, host_workers, track_atomic_conflicts),
+      mode_(mode) {}
 
 sim::KernelStats StaticGpuBc::compute(const CSRGraph& g, BcStore& store,
                                       int num_blocks) {
@@ -18,6 +20,8 @@ sim::KernelStats StaticGpuBc::compute(const CSRGraph& g, BcStore& store,
   const int k = store.num_sources();
   const Parallelism mode = mode_;
 
+  const char* name =
+      mode == Parallelism::kEdge ? "static_bc.edge" : "static_bc.node";
   return device_.launch(num_blocks, [&, mode, num_blocks](sim::BlockContext& ctx) {
     std::vector<VertexId> order;
     std::vector<std::size_t> level_offsets;
@@ -33,7 +37,7 @@ sim::KernelStats StaticGpuBc::compute(const CSRGraph& g, BcStore& store,
                                    store.bc(), order, level_offsets);
       }
     }
-  });
+  }, name);
 }
 
 }  // namespace bcdyn

@@ -25,7 +25,8 @@ inline const char* to_string(Parallelism p) {
 class StaticGpuBc {
  public:
   StaticGpuBc(sim::DeviceSpec spec, Parallelism mode,
-              sim::CostModel cost = {}, int host_workers = 0);
+              sim::CostModel cost = {}, int host_workers = 0,
+              bool track_atomic_conflicts = false);
 
   /// Recomputes the store (all rows + BC) from scratch on the simulated
   /// device. `num_blocks` <= 0 launches one block per SM (the paper's

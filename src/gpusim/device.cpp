@@ -1,39 +1,162 @@
 #include "gpusim/device.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+#include "trace/validate.hpp"
+
 namespace bcdyn::sim {
+
+namespace {
+
+int next_trace_pid() {
+  static std::atomic<int> counter{trace::kDevicePidBase};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 Device::Device(DeviceSpec spec, CostModel cost, int host_workers,
                bool track_atomic_conflicts)
     : spec_(std::move(spec)),
       cost_(cost),
-      track_conflicts_(track_atomic_conflicts) {
+      track_conflicts_(track_atomic_conflicts),
+      trace_pid_(next_trace_pid()) {
   if (host_workers > 0) {
     pool_ = std::make_unique<util::ThreadPool>(
         static_cast<std::size_t>(host_workers));
   }
+  trace::tracer().set_process_name(
+      trace_pid_, "device " + std::to_string(trace_pid_ - trace::kDevicePidBase) +
+                      " (" + spec_.name + ")");
+}
+
+LaunchTimeline schedule_blocks(const std::vector<double>& block_cycles,
+                               int num_sms, double dispatch_cycles) {
+  LaunchTimeline timeline;
+  timeline.num_sms = num_sms;
+  timeline.placements.reserve(block_cycles.size());
+  // Min-heap of (finish time, SM); each block goes to the earliest-free SM.
+  // Ties break toward the lowest SM id, which never changes the popped
+  // finish *time*, so the makespan arithmetic matches schedule_makespan's
+  // original double-only heap exactly.
+  using Slot = std::pair<double, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> sms;
+  for (int s = 0; s < num_sms; ++s) sms.emplace(0.0, s);
+  double makespan = 0.0;
+  int index = 0;
+  for (double cycles : block_cycles) {
+    const Slot slot = sms.top();
+    sms.pop();
+    double at = slot.first;
+    at += dispatch_cycles + cycles;
+    makespan = std::max(makespan, at);
+    sms.emplace(at, slot.second);
+    timeline.placements.push_back({.index = index,
+                                   .sm = slot.second,
+                                   .start_cycles = slot.first,
+                                   .end_cycles = at,
+                                   .wait_cycles = slot.first});
+    ++index;
+  }
+  timeline.makespan_cycles = makespan;
+  return timeline;
 }
 
 double schedule_makespan(const std::vector<double>& block_cycles, int num_sms,
                          double dispatch_cycles) {
-  // Min-heap of SM finish times; each block goes to the earliest-free SM.
-  std::priority_queue<double, std::vector<double>, std::greater<>> sms;
-  for (int s = 0; s < num_sms; ++s) sms.push(0.0);
-  double makespan = 0.0;
-  for (double cycles : block_cycles) {
-    double at = sms.top();
-    sms.pop();
-    at += dispatch_cycles + cycles;
-    makespan = std::max(makespan, at);
-    sms.push(at);
-  }
-  return makespan;
+  return schedule_blocks(block_cycles, num_sms, dispatch_cycles)
+      .makespan_cycles;
 }
 
-KernelStats Device::launch(int num_blocks, const Kernel& kernel) {
+KernelStats Device::finish_launch(std::string_view name, std::string_view cat,
+                                  int num_blocks,
+                                  const std::vector<BlockContext>& contexts,
+                                  double setup_cycles,
+                                  double dispatch_cycles) {
+  KernelStats stats;
+  stats.num_blocks = num_blocks;
+  stats.launches = 1;
+  std::vector<double> block_cycles;
+  block_cycles.reserve(contexts.size());
+  for (const auto& ctx : contexts) {
+    stats.total += ctx.counters();
+    stats.max_block_cycles = std::max(stats.max_block_cycles, ctx.cycles());
+    block_cycles.push_back(ctx.cycles());
+  }
+  LaunchTimeline timeline =
+      schedule_blocks(block_cycles, spec_.num_sms, dispatch_cycles);
+  stats.makespan_cycles = setup_cycles + timeline.makespan_cycles;
+  stats.seconds = stats.makespan_cycles / (spec_.clock_ghz * 1e9);
+  accumulated_ += stats;
+
+  const std::string label = name.empty() ? "kernel" : std::string(name);
+  timeline.name = label;
+
+  // Metrics: launch totals plus schedule-quality histograms. Occupancy is
+  // recorded in percent so the log2 buckets spread usefully.
+  auto& reg = trace::metrics();
+  reg.add("sim.launches");
+  reg.add("sim.blocks", contexts.size());
+  if (stats.total.atomic_conflicts > 0) {
+    reg.add("sim.atomic_conflicts", stats.total.atomic_conflicts);
+    reg.add("sim.atomic_conflicts." + label, stats.total.atomic_conflicts);
+  }
+  if (!timeline.placements.empty() && timeline.makespan_cycles > 0.0) {
+    std::vector<double> busy(static_cast<std::size_t>(spec_.num_sms), 0.0);
+    for (const auto& p : timeline.placements) {
+      busy[static_cast<std::size_t>(p.sm)] += p.end_cycles - p.start_cycles;
+    }
+    double busy_sum = 0.0;
+    double busy_max = 0.0;
+    for (double b : busy) {
+      busy_sum += b;
+      busy_max = std::max(busy_max, b);
+    }
+    reg.observe("sim.occupancy",
+                100.0 * busy_sum / (timeline.makespan_cycles * spec_.num_sms));
+    const double busy_mean = busy_sum / spec_.num_sms;
+    if (busy_mean > 0.0) reg.observe("sim.imbalance", busy_max / busy_mean);
+  }
+
+  // Trace: one summary event on the launch track, one complete event per
+  // block/job on its SM's track, all on this device's modeled-cycles axis
+  // laid out after every earlier launch.
+  const std::int64_t launch_id = launch_seq_++;
+  auto& tr = trace::tracer();
+  if (tr.enabled()) {
+    const double us_per_cycle = 1.0 / (spec_.clock_ghz * 1e3);
+    const double origin_us = timeline_origin_cycles_ * us_per_cycle;
+    tr.complete(
+        trace_pid_, trace::kLaunchTrackTid, origin_us,
+        stats.makespan_cycles * us_per_cycle, label, trace::kCatLaunch,
+        {{trace::kArgLaunchId, static_cast<double>(launch_id)},
+         {trace::kArgBlocks, static_cast<double>(timeline.placements.size())},
+         {"max_block_cycles", stats.max_block_cycles},
+         {"atomic_conflicts",
+          static_cast<double>(stats.total.atomic_conflicts)}});
+    for (const auto& p : timeline.placements) {
+      tr.complete(trace_pid_, p.sm,
+                  (timeline_origin_cycles_ + setup_cycles) * us_per_cycle +
+                      p.start_cycles * us_per_cycle,
+                  (p.end_cycles - p.start_cycles) * us_per_cycle, label, cat,
+                  {{trace::kArgLaunchId, static_cast<double>(launch_id)},
+                   {trace::kArgIndex, static_cast<double>(p.index)},
+                   {"wait_cycles", p.wait_cycles}});
+    }
+  }
+  timeline_origin_cycles_ += stats.makespan_cycles;
+  last_timeline_ = std::move(timeline);
+  return stats;
+}
+
+KernelStats Device::launch(int num_blocks, const Kernel& kernel,
+                           std::string_view name) {
   std::vector<BlockContext> contexts;
   contexts.reserve(static_cast<std::size_t>(num_blocks));
   for (int b = 0; b < num_blocks; ++b) {
@@ -49,25 +172,14 @@ KernelStats Device::launch(int num_blocks, const Kernel& kernel) {
     for (auto& ctx : contexts) kernel(ctx);
   }
 
-  KernelStats stats;
-  stats.num_blocks = num_blocks;
-  std::vector<double> block_cycles;
-  block_cycles.reserve(contexts.size());
-  for (const auto& ctx : contexts) {
-    stats.total += ctx.counters();
-    stats.max_block_cycles = std::max(stats.max_block_cycles, ctx.cycles());
-    block_cycles.push_back(ctx.cycles());
-  }
-  stats.makespan_cycles =
-      cost_.kernel_launch_cycles +
-      schedule_makespan(block_cycles, spec_.num_sms, cost_.block_dispatch_cycles);
-  stats.seconds = stats.makespan_cycles / (spec_.clock_ghz * 1e9);
-  accumulated_ += stats;
-  return stats;
+  return finish_launch(name, trace::kCatBlock, num_blocks, contexts,
+                       cost_.kernel_launch_cycles,
+                       cost_.block_dispatch_cycles);
 }
 
 KernelStats Device::launch_queue(int num_jobs, const JobKernel& kernel,
-                                 std::vector<BlockCounters>* per_job) {
+                                 std::vector<BlockCounters>* per_job,
+                                 std::string_view name) {
   const int lanes = std::max(1, std::min(spec_.num_sms, num_jobs));
   std::vector<BlockContext> contexts;
   contexts.reserve(static_cast<std::size_t>(std::max(num_jobs, 0)));
@@ -93,22 +205,12 @@ KernelStats Device::launch_queue(int num_jobs, const JobKernel& kernel,
     for (int lane = 0; lane < lanes; ++lane) run_lane(lane);
   }
 
-  KernelStats stats;
-  stats.num_blocks = lanes;
-  std::vector<double> job_cycles;
-  job_cycles.reserve(contexts.size());
-  for (const auto& ctx : contexts) {
-    stats.total += ctx.counters();
-    stats.max_block_cycles = std::max(stats.max_block_cycles, ctx.cycles());
-    job_cycles.push_back(ctx.cycles());
-  }
   // The persistent blocks dispatch once, concurrently, before draining the
   // queue; after that each job costs its cycles plus a queue pop.
-  stats.makespan_cycles =
-      cost_.kernel_launch_cycles + cost_.block_dispatch_cycles +
-      schedule_makespan(job_cycles, spec_.num_sms, cost_.job_pop_cycles);
-  stats.seconds = stats.makespan_cycles / (spec_.clock_ghz * 1e9);
-  accumulated_ += stats;
+  KernelStats stats = finish_launch(
+      name, trace::kCatJob, lanes, contexts,
+      cost_.kernel_launch_cycles + cost_.block_dispatch_cycles,
+      cost_.job_pop_cycles);
   if (per_job) {
     per_job->clear();
     per_job->reserve(contexts.size());

@@ -11,10 +11,18 @@
 // greedy block->SM schedule (each finished SM takes the next block), which
 // is the hardware's behaviour and what makes Fig. 1 plateau at multiples
 // of the SM count.
+//
+// Every launch also records its full schedule - which SM each block landed
+// on and when - as a LaunchTimeline, feeds sim.* metrics, and (when the
+// process tracer is enabled) emits the timeline onto the device's trace
+// tracks. None of that feeds back into modeled results.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "gpusim/block_context.hpp"
 #include "gpusim/cost_model.hpp"
@@ -23,6 +31,26 @@
 #include "util/thread_pool.hpp"
 
 namespace bcdyn::sim {
+
+/// Where one block (or queue job) ran in the modeled schedule. Cycle
+/// stamps are relative to the start of the block-dispatch phase of the
+/// launch; `end - start` includes the per-block dispatch (or per-job
+/// queue-pop) charge.
+struct BlockPlacement {
+  int index = 0;  // block id for launch(), queue position for launch_queue()
+  int sm = 0;
+  double start_cycles = 0.0;
+  double end_cycles = 0.0;
+  double wait_cycles = 0.0;  // how long the block sat behind earlier work
+};
+
+/// The per-launch schedule behind a KernelStats makespan.
+struct LaunchTimeline {
+  std::string name;
+  int num_sms = 0;
+  double makespan_cycles = 0.0;  // of the schedule itself, excl. launch setup
+  std::vector<BlockPlacement> placements;
+};
 
 class Device {
  public:
@@ -36,7 +64,9 @@ class Device {
 
   /// Launches `num_blocks` blocks of `kernel`. Blocks see their id via
   /// BlockContext::block_id(). Blocking; returns the launch's stats.
-  KernelStats launch(int num_blocks, const Kernel& kernel);
+  /// `name` labels the launch in traces, metrics, and reports.
+  KernelStats launch(int num_blocks, const Kernel& kernel,
+                     std::string_view name = {});
 
   using JobKernel = std::function<void(BlockContext&, int)>;
 
@@ -54,23 +84,45 @@ class Device {
   /// `per_job` is non-null it receives each job's counters, indexed by
   /// queue position.
   KernelStats launch_queue(int num_jobs, const JobKernel& kernel,
-                           std::vector<BlockCounters>* per_job = nullptr);
+                           std::vector<BlockCounters>* per_job = nullptr,
+                           std::string_view name = {});
 
   /// Cumulative stats across all launches since construction/reset.
   const KernelStats& accumulated() const { return accumulated_; }
   void reset_accumulated() { accumulated_ = {}; }
 
+  /// Schedule of the most recent launch (empty before the first one).
+  const LaunchTimeline& last_timeline() const { return last_timeline_; }
+
+  /// The pid this device's modeled timeline uses in the process trace.
+  int trace_pid() const { return trace_pid_; }
+
  private:
+  KernelStats finish_launch(std::string_view name, std::string_view cat,
+                            int num_blocks,
+                            const std::vector<BlockContext>& contexts,
+                            double setup_cycles, double dispatch_cycles);
+
   DeviceSpec spec_;
   CostModel cost_;
   bool track_conflicts_;
   std::unique_ptr<util::ThreadPool> pool_;  // null => inline execution
   KernelStats accumulated_;
+  LaunchTimeline last_timeline_;
+  int trace_pid_ = 0;
+  std::int64_t launch_seq_ = 0;          // per-device launch id
+  double timeline_origin_cycles_ = 0.0;  // modeled time already spent
 };
 
 /// Computes the makespan of `block_cycles` over `num_sms` SMs under the
 /// greedy next-free-SM schedule, including dispatch overhead per block.
 double schedule_makespan(const std::vector<double>& block_cycles, int num_sms,
                          double dispatch_cycles);
+
+/// Same greedy schedule, but returns the full block->SM placement list.
+/// schedule_makespan() is this with the placements thrown away; both use
+/// identical arithmetic, so the makespan is bit-identical.
+LaunchTimeline schedule_blocks(const std::vector<double>& block_cycles,
+                               int num_sms, double dispatch_cycles);
 
 }  // namespace bcdyn::sim

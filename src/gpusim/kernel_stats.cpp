@@ -23,21 +23,25 @@ KernelStats& KernelStats::operator+=(const KernelStats& o) {
   max_block_cycles = std::max(max_block_cycles, o.max_block_cycles);
   makespan_cycles += o.makespan_cycles;  // launches run back to back
   seconds += o.seconds;
-  num_blocks = std::max(num_blocks, o.num_blocks);
+  num_blocks += o.num_blocks;
+  launches += o.launches;
   return *this;
 }
 
 std::string KernelStats::to_string() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
-                "blocks=%d rounds=%llu items=%llu reads=%llu writes=%llu "
-                "atomics=%llu barriers=%llu time=%.6fs",
-                num_blocks, static_cast<unsigned long long>(total.rounds),
+                "launches=%d blocks=%d rounds=%llu items=%llu reads=%llu "
+                "writes=%llu atomics=%llu barriers=%llu max_block=%.0fcyc "
+                "makespan=%.0fcyc time=%.6fs",
+                launches, num_blocks,
+                static_cast<unsigned long long>(total.rounds),
                 static_cast<unsigned long long>(total.items),
                 static_cast<unsigned long long>(total.global_reads),
                 static_cast<unsigned long long>(total.global_writes),
                 static_cast<unsigned long long>(total.atomics),
-                static_cast<unsigned long long>(total.barriers), seconds);
+                static_cast<unsigned long long>(total.barriers),
+                max_block_cycles, makespan_cycles, seconds);
   return buf;
 }
 

@@ -23,15 +23,19 @@ struct BlockCounters {
   BlockCounters& operator+=(const BlockCounters& o);
 };
 
-/// Aggregated result of one kernel launch.
+/// Aggregated result of one kernel launch (or, after operator+=, of a
+/// sequence of launches run back to back).
 struct KernelStats {
-  BlockCounters total;      // summed over blocks
-  double max_block_cycles = 0.0;
+  BlockCounters total;      // summed over blocks of every launch
+  double max_block_cycles = 0.0;  // max over all blocks of all launches
   double makespan_cycles = 0.0;  // greedy block->SM schedule, incl. overheads
   double seconds = 0.0;          // makespan / clock
-  int num_blocks = 0;
+  int num_blocks = 0;            // summed over launches
+  int launches = 0;              // launches composed into this object
 
-  KernelStats& operator+=(const KernelStats& o);  // sequential composition
+  /// Sequential composition: launches run back to back, so makespans and
+  /// block counts add while max_block_cycles takes the max-of-max.
+  KernelStats& operator+=(const KernelStats& o);
   std::string to_string() const;
 };
 

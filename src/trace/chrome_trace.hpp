@@ -1,0 +1,24 @@
+// Chrome trace-event exporter: serializes a Tracer's events into the JSON
+// Trace Event Format that chrome://tracing / Perfetto load directly.
+//
+// Host spans become B/E pairs on pid 0; simulated-device timelines become
+// X (complete) events on pid 1+, one track per SM, on the modeled-time
+// axis. Process/thread metadata events carry the track names registered
+// with the tracer, so the viewer shows "device 0 (Tesla C2075)" / "SM 3"
+// instead of bare ids.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace bcdyn::trace {
+
+/// Writes `{"traceEvents": [...], ...}` for the tracer's current events.
+void write_chrome_trace(const Tracer& tracer, std::ostream& out);
+
+/// Convenience: export to a string (tests, selftest).
+std::string chrome_trace_string(const Tracer& tracer);
+
+}  // namespace bcdyn::trace

@@ -1,0 +1,45 @@
+// Minimal JSON parser used to validate and round-trip the trace/metrics
+// exporters' output (tests and `bcdyn_trace --selftest`). Strict enough to
+// reject malformed exporter output: full UTF-8 passthrough, \uXXXX escapes
+// validated, no trailing garbage, no trailing commas.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bcdyn::trace {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Map preserves exporter key order lexicographically; duplicate keys are
+  // a parse error (the exporters never emit them).
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  std::string error;  // "offset N: message" when !ok
+  JsonValue value;
+};
+
+JsonParseResult parse_json(std::string_view text);
+
+}  // namespace bcdyn::trace

@@ -1,0 +1,73 @@
+// Process-wide metrics: named counters, gauges, and summary histograms.
+//
+// Unlike the tracer, the registry is always on - a bump is one mutex-guarded
+// map update, cheap at the rates the engines emit (per source x insertion,
+// per kernel launch), and keeping it unconditional lets the test suite
+// assert accounting invariants (e.g. case1+case2+case3 == sources) without
+// a mode switch. Metrics never feed back into modeled results.
+//
+// Naming convention: dotted lowercase paths, lowest-frequency prefix first -
+//   bc.case1.count / bc.case2.count / bc.case3.count  per-source scenarios
+//   bc.touched_fraction                                histogram, per source
+//   bc.frontier_size                                   histogram (traced runs)
+//   batch.fallback_recompute.count                     jobs that recomputed
+//   batch.touched_fraction                             cumulative, per job
+//   sim.launches / sim.blocks / sim.atomic_conflicts   device totals
+//   sim.occupancy / sim.imbalance                      per-launch histograms
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace bcdyn::trace {
+
+/// Summary + coarse log2 buckets of every value passed to observe():
+/// bucket 0 holds values < 1, bucket i >= 1 holds [2^(i-1), 2^i).
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 32;
+
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // meaningful only when count > 0
+  double max = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+class MetricsRegistry {
+ public:
+  void add(std::string_view name, std::uint64_t delta = 1);
+  void set_gauge(std::string_view name, double value);
+  void observe(std::string_view name, double value);
+
+  std::uint64_t counter_value(std::string_view name) const;  // 0 if absent
+  double gauge_value(std::string_view name, double fallback = 0.0) const;
+  HistogramSnapshot histogram(std::string_view name) const;  // empty if absent
+
+  std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, double> gauges() const;
+  std::map<std::string, HistogramSnapshot> histograms() const;
+
+  void reset();
+
+  /// Flat machine-readable export: one JSON object with "counters",
+  /// "gauges" and "histograms" sections, keys sorted for stable diffs.
+  void write_json(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramSnapshot> histograms_;
+};
+
+/// The process-wide registry the engines and simulator record into.
+MetricsRegistry& metrics();
+
+}  // namespace bcdyn::trace

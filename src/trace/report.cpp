@@ -1,0 +1,210 @@
+#include "trace/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "trace/validate.hpp"
+
+namespace bcdyn::trace {
+
+namespace {
+
+struct KernelAgg {
+  int launches = 0;
+  int blocks = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct SmAgg {
+  double busy_us = 0.0;
+  int placements = 0;
+  double last_end_us = 0.0;
+};
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+void rule(std::ostream& out) {
+  out << "  " << std::string(66, '-') << "\n";
+}
+
+}  // namespace
+
+void write_report(const std::vector<TraceEvent>& events,
+                  const MetricsRegistry& registry, std::ostream& out) {
+  const auto counters = registry.counters();
+
+  // --- top kernels by modeled time -----------------------------------
+  std::map<std::string, KernelAgg> kernels;
+  for (const auto& ev : events) {
+    if (ev.phase != TraceEvent::Phase::kComplete || ev.cat != kCatLaunch) {
+      continue;
+    }
+    auto& agg = kernels[ev.name];
+    agg.launches += 1;
+    agg.blocks += static_cast<int>(arg_value(ev, kArgBlocks, 0.0));
+    agg.total_us += ev.dur_us;
+    agg.max_us = std::max(agg.max_us, ev.dur_us);
+  }
+  out << "== top kernels by modeled time ==\n";
+  if (kernels.empty()) {
+    out << "  (no launches recorded; run with tracing enabled)\n";
+  } else {
+    std::vector<std::pair<std::string, KernelAgg>> ranked(kernels.begin(),
+                                                          kernels.end());
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second.total_us > b.second.total_us;
+                     });
+    double grand_total = 0.0;
+    for (const auto& [name, agg] : ranked) grand_total += agg.total_us;
+    out << "  " << std::string(24, ' ')
+        << "launches   blocks     total_us       max_us  share\n";
+    rule(out);
+    for (const auto& [name, agg] : ranked) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "  %-24s %8d %8d %12.2f %12.2f %5.1f%%\n", name.c_str(),
+                    agg.launches, agg.blocks, agg.total_us, agg.max_us,
+                    grand_total > 0.0 ? 100.0 * agg.total_us / grand_total
+                                      : 0.0);
+      out << line;
+    }
+  }
+
+  // --- per-SM occupancy / imbalance per device -----------------------
+  std::map<int, std::map<int, SmAgg>> devices;  // pid -> sm -> agg
+  for (const auto& ev : events) {
+    if (ev.phase != TraceEvent::Phase::kComplete) continue;
+    if (ev.cat != kCatBlock && ev.cat != kCatJob) continue;
+    auto& sm = devices[ev.pid][ev.tid];
+    sm.busy_us += ev.dur_us;
+    sm.placements += 1;
+    sm.last_end_us = std::max(sm.last_end_us, ev.ts_us + ev.dur_us);
+  }
+  out << "\n== SM timelines ==\n";
+  if (devices.empty()) {
+    out << "  (no block placements recorded)\n";
+  }
+  for (const auto& [pid, sms] : devices) {
+    double span_us = 0.0;
+    double busy_sum = 0.0;
+    double busy_max = 0.0;
+    for (const auto& [sm, agg] : sms) {
+      span_us = std::max(span_us, agg.last_end_us);
+      busy_sum += agg.busy_us;
+      busy_max = std::max(busy_max, agg.busy_us);
+    }
+    const double busy_mean = sms.empty() ? 0.0 : busy_sum / sms.size();
+    out << "  device pid " << pid << ": " << sms.size()
+        << " SMs, modeled span " << fmt("%.2f", span_us) << " us, occupancy "
+        << fmt("%.1f", span_us > 0.0
+                           ? 100.0 * busy_sum / (span_us * sms.size())
+                           : 0.0)
+        << "%, LPT imbalance "
+        << fmt("%.2f", busy_mean > 0.0 ? busy_max / busy_mean : 0.0) << "x\n";
+    out << "     sm  placements      busy_us   busy%\n";
+    for (const auto& [sm, agg] : sms) {
+      char line[160];
+      std::snprintf(line, sizeof(line), "    %3d  %10d %12.2f  %5.1f%%\n", sm,
+                    agg.placements, agg.busy_us,
+                    span_us > 0.0 ? 100.0 * agg.busy_us / span_us : 0.0);
+      out << line;
+    }
+  }
+
+  // --- case mix ------------------------------------------------------
+  const std::uint64_t case1 = registry.counter_value("bc.case1.count");
+  const std::uint64_t case2 = registry.counter_value("bc.case2.count");
+  const std::uint64_t case3 = registry.counter_value("bc.case3.count");
+  const std::uint64_t total_cases = case1 + case2 + case3;
+  out << "\n== case mix (per source x update) ==\n";
+  if (total_cases == 0) {
+    out << "  (no updates recorded)\n";
+  } else {
+    const struct {
+      const char* label;
+      std::uint64_t n;
+    } rows[] = {{"case 1 (no work)", case1},
+                {"case 2 (adjacent)", case2},
+                {"case 3 (far)", case3}};
+    for (const auto& row : rows) {
+      const double share = 100.0 * static_cast<double>(row.n) /
+                           static_cast<double>(total_cases);
+      char line[160];
+      std::snprintf(line, sizeof(line), "  %-18s %10llu  %5.1f%%  ",
+                    row.label, static_cast<unsigned long long>(row.n), share);
+      out << line << std::string(static_cast<std::size_t>(share / 2.5), '#')
+          << "\n";
+    }
+    const auto touched = registry.histogram("bc.touched_fraction");
+    if (touched.count > 0) {
+      out << "  touched fraction: mean " << fmt("%.4f", touched.mean())
+          << ", max " << fmt("%.4f", touched.max) << " over " << touched.count
+          << " updates\n";
+    }
+    const auto fallback =
+        registry.counter_value("batch.fallback_recompute.count");
+    if (counters.count("batch.jobs.count")) {
+      out << "  batch jobs: " << counters.at("batch.jobs.count") << " ("
+          << fallback << " fell back to recompute)\n";
+    }
+  }
+
+  // --- atomic-conflict hotspots --------------------------------------
+  out << "\n== atomic-conflict hotspots ==\n";
+  std::vector<std::pair<std::string, std::uint64_t>> hot;
+  const std::string prefix = "sim.atomic_conflicts.";
+  for (const auto& [name, value] : counters) {
+    if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0 &&
+        value > 0) {
+      hot.emplace_back(name.substr(prefix.size()), value);
+    }
+  }
+  if (hot.empty()) {
+    out << "  (none recorded; enable conflict tracking to populate)\n";
+  } else {
+    std::stable_sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    for (const auto& [name, value] : hot) {
+      char line[160];
+      std::snprintf(line, sizeof(line), "  %-24s %12llu conflicts\n",
+                    name.c_str(), static_cast<unsigned long long>(value));
+      out << line;
+    }
+  }
+
+  // --- frontier sizes (only populated in traced runs) ----------------
+  const auto frontier = registry.histogram("bc.frontier_size");
+  if (frontier.count > 0) {
+    out << "\n== BFS frontier sizes ==\n  " << frontier.count
+        << " levels, mean " << fmt("%.1f", frontier.mean()) << ", max "
+        << fmt("%.0f", frontier.max) << "; log2 buckets:";
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < frontier.buckets.size(); ++i) {
+      if (frontier.buckets[i] > 0) top = i;
+    }
+    for (std::size_t i = 0; i <= top; ++i) {
+      out << " " << frontier.buckets[i];
+    }
+    out << "\n";
+  }
+}
+
+std::string report_string(const Tracer& tracer,
+                          const MetricsRegistry& registry) {
+  std::ostringstream out;
+  write_report(tracer.events(), registry, out);
+  return out.str();
+}
+
+}  // namespace bcdyn::trace

@@ -1,0 +1,21 @@
+// Human-readable run report assembled from a recorded trace plus the
+// metrics registry: top kernels by modeled time, per-SM occupancy and
+// LPT imbalance per device, the case-mix histogram, and atomic-conflict
+// hotspots. This is what `bcdyn_trace` prints.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace bcdyn::trace {
+
+void write_report(const std::vector<TraceEvent>& events,
+                  const MetricsRegistry& registry, std::ostream& out);
+
+std::string report_string(const Tracer& tracer, const MetricsRegistry& registry);
+
+}  // namespace bcdyn::trace

@@ -1,0 +1,134 @@
+#include "trace/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace bcdyn::trace {
+
+double arg_value(const TraceEvent& ev, std::string_view key, double fallback) {
+  for (const auto& arg : ev.args) {
+    if (arg.key == key) return arg.value;
+  }
+  return fallback;
+}
+
+std::vector<std::string> validate_events(
+    const std::vector<TraceEvent>& events) {
+  std::vector<std::string> problems;
+  auto report = [&problems](std::string message) {
+    if (problems.size() < 32) problems.push_back(std::move(message));
+  };
+
+  // 1. B/E spans strictly nest per track: an E always closes the most
+  // recent open B on its track, and every B is closed by the end.
+  std::map<std::pair<int, int>, std::vector<const TraceEvent*>> open;
+  for (const auto& ev : events) {
+    const auto track = std::make_pair(ev.pid, ev.tid);
+    if (ev.phase == TraceEvent::Phase::kBegin) {
+      open[track].push_back(&ev);
+    } else if (ev.phase == TraceEvent::Phase::kEnd) {
+      auto& stack = open[track];
+      if (stack.empty()) {
+        report("span end without matching begin on pid " +
+               std::to_string(ev.pid) + " tid " + std::to_string(ev.tid));
+        continue;
+      }
+      if (ev.ts_us + 1e-6 < stack.back()->ts_us) {
+        report("span '" + stack.back()->name + "' ends before it begins");
+      }
+      stack.pop_back();
+    }
+  }
+  for (const auto& [track, stack] : open) {
+    if (!stack.empty()) {
+      report("span '" + stack.back()->name + "' never closed on pid " +
+             std::to_string(track.first) + " tid " +
+             std::to_string(track.second));
+    }
+  }
+
+  // 2. Complete events are finite with non-negative durations.
+  for (const auto& ev : events) {
+    if (ev.phase != TraceEvent::Phase::kComplete) continue;
+    if (!std::isfinite(ev.ts_us) || !std::isfinite(ev.dur_us) ||
+        ev.dur_us < 0.0) {
+      report("malformed complete event '" + ev.name + "'");
+    }
+  }
+
+  // 3. Block/job events on the same SM track never overlap in modeled time.
+  std::map<std::pair<int, int>, std::vector<const TraceEvent*>> per_track;
+  for (const auto& ev : events) {
+    if (ev.phase != TraceEvent::Phase::kComplete) continue;
+    if (ev.cat != kCatBlock && ev.cat != kCatJob) continue;
+    per_track[{ev.pid, ev.tid}].push_back(&ev);
+  }
+  for (auto& [track, list] : per_track) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       return a->ts_us < b->ts_us;
+                     });
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      const double prev_end = list[i - 1]->ts_us + list[i - 1]->dur_us;
+      // Tolerate rounding at the us scale; schedules abut exactly.
+      if (list[i]->ts_us + 1e-6 < prev_end) {
+        report("overlapping placements on pid " + std::to_string(track.first) +
+               " SM " + std::to_string(track.second) + " ('" +
+               list[i - 1]->name + "' vs '" + list[i]->name + "')");
+      }
+    }
+  }
+
+  // 4. Every launch summary is matched by exactly its placements: indices
+  // 0..blocks-1, each appearing exactly once on that device.
+  struct LaunchSeen {
+    const TraceEvent* summary = nullptr;
+    std::multiset<int> indices;
+  };
+  std::map<std::pair<int, std::int64_t>, LaunchSeen> launches;
+  for (const auto& ev : events) {
+    if (ev.phase != TraceEvent::Phase::kComplete) continue;
+    if (ev.cat == kCatLaunch) {
+      const auto id = static_cast<std::int64_t>(arg_value(ev, kArgLaunchId, -1));
+      auto& seen = launches[{ev.pid, id}];
+      if (seen.summary != nullptr) {
+        report("duplicate launch summary '" + ev.name + "'");
+      }
+      seen.summary = &ev;
+    } else if (ev.cat == kCatBlock || ev.cat == kCatJob) {
+      const auto id = static_cast<std::int64_t>(arg_value(ev, kArgLaunchId, -1));
+      launches[{ev.pid, id}].indices.insert(
+          static_cast<int>(arg_value(ev, kArgIndex, -1)));
+    }
+  }
+  for (const auto& [key, seen] : launches) {
+    if (seen.summary == nullptr) {
+      report("placement events without a launch summary (pid " +
+             std::to_string(key.first) + " launch " +
+             std::to_string(key.second) + ")");
+      continue;
+    }
+    const int blocks = static_cast<int>(arg_value(*seen.summary, kArgBlocks, -1));
+    if (static_cast<int>(seen.indices.size()) != blocks) {
+      report("launch '" + seen.summary->name + "' declares " +
+             std::to_string(blocks) + " blocks but the timeline has " +
+             std::to_string(seen.indices.size()));
+      continue;
+    }
+    for (int b = 0; b < blocks; ++b) {
+      if (seen.indices.count(b) != 1) {
+        report("launch '" + seen.summary->name + "': block/job " +
+               std::to_string(b) + " appears " +
+               std::to_string(seen.indices.count(b)) +
+               " times in the timeline");
+        break;
+      }
+    }
+  }
+
+  return problems;
+}
+
+}  // namespace bcdyn::trace

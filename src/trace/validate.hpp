@@ -1,0 +1,36 @@
+// Structural invariants over a recorded trace, shared by the unit tests
+// and `bcdyn_trace --selftest` (which gates CI on them):
+//
+//   * host B/E spans strictly nest per (pid, tid) track and all close;
+//   * complete events are finite with non-negative durations;
+//   * block/job events on one SM track never overlap in modeled time;
+//   * every launch summary is matched by exactly its block/job placements:
+//     indices 0..blocks-1, each exactly once (a launch_queue job appearing
+//     zero or two times in the timeline is an accounting bug).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace bcdyn::trace {
+
+// Well-known categories and argument keys the simulator emits; the
+// contract between sim::Device and the validators/report.
+inline constexpr const char* kCatLaunch = "sim.launch";  // launch summaries
+inline constexpr const char* kCatBlock = "sim.block";    // launch() blocks
+inline constexpr const char* kCatJob = "sim.job";        // launch_queue jobs
+inline constexpr const char* kArgLaunchId = "launch";
+inline constexpr const char* kArgBlocks = "blocks";
+inline constexpr const char* kArgIndex = "index";
+
+/// Returns a human-readable description of every violated invariant
+/// (empty means the trace is well formed).
+std::vector<std::string> validate_events(const std::vector<TraceEvent>& events);
+
+/// Looks up a numeric argument; returns `fallback` when absent.
+double arg_value(const TraceEvent& ev, std::string_view key,
+                 double fallback = 0.0);
+
+}  // namespace bcdyn::trace

@@ -20,9 +20,19 @@
 #include "bc/dynamic_gpu.hpp"
 #include "gen/suite.hpp"
 #include "test_helpers.hpp"
+#include "trace/metrics.hpp"
 
 namespace bcdyn {
 namespace {
+
+/// Sum of the per-source scenario counters the engines bump on every
+/// analytic update (the registry is process-wide, so invariants are
+/// asserted on deltas).
+std::uint64_t case_counter_total() {
+  auto& m = trace::metrics();
+  return m.counter_value("bc.case1.count") + m.counter_value("bc.case2.count") +
+         m.counter_value("bc.case3.count");
+}
 
 constexpr int kSteps = 32;
 constexpr int kBatchFlush = 5;  // batch path flushes every 5 pending edges
@@ -100,6 +110,7 @@ TEST_P(DifferentialFuzz, AllPathsMatchFreshRecomputeAfterEveryStep) {
     if (u == kNoVertex) break;
     g = g.with_edge(u, v);
 
+    const std::uint64_t cases_before = case_counter_total();
     for (int si = 0; si < cpu.store.num_sources(); ++si) {
       const VertexId s = cpu.store.sources()[static_cast<std::size_t>(si)];
       cpu_engine.update_source(g, s, cpu.store.dist_row(si),
@@ -109,6 +120,16 @@ TEST_P(DifferentialFuzz, AllPathsMatchFreshRecomputeAfterEveryStep) {
     edge_engine.insert_edge_update(g, edge.store, u, v);
     node_engine.insert_edge_update(g, node.store, u, v);
     pending.emplace_back(u, v);
+
+    // Metric accounting invariant: three engines just classified this
+    // insertion once per source, and every classification lands in exactly
+    // one of the three case counters.
+    ASSERT_EQ(case_counter_total() - cases_before,
+              static_cast<std::uint64_t>(3 * kNumSources))
+        << "case counters out of step at step=" << step;
+    const auto touched = trace::metrics().histogram("bc.touched_fraction");
+    EXPECT_LE(touched.max, 1.0)
+        << "a source update claimed to touch more vertices than exist";
 
     BcStore fresh(n, cfg);
     brandes_all(g, fresh);

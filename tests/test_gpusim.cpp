@@ -163,6 +163,53 @@ TEST(Device, AccumulatedStatsSumLaunches) {
   EXPECT_EQ(dev.accumulated().total.global_writes, 0u);
 }
 
+TEST(KernelStats, SequentialCompositionSumsAndMaxes) {
+  KernelStats a;
+  a.num_blocks = 3;
+  a.launches = 1;
+  a.makespan_cycles = 100.0;
+  a.seconds = 0.5;
+  a.max_block_cycles = 40.0;
+  a.total.global_reads = 7;
+  KernelStats b;
+  b.num_blocks = 5;
+  b.launches = 2;
+  b.makespan_cycles = 50.0;
+  b.seconds = 0.25;
+  b.max_block_cycles = 90.0;
+  b.total.global_reads = 3;
+
+  a += b;
+  EXPECT_EQ(a.num_blocks, 8);        // blocks sum across launches
+  EXPECT_EQ(a.launches, 3);
+  EXPECT_DOUBLE_EQ(a.makespan_cycles, 150.0);
+  EXPECT_DOUBLE_EQ(a.seconds, 0.75);
+  EXPECT_DOUBLE_EQ(a.max_block_cycles, 90.0);  // max-of-max, not a sum
+  EXPECT_EQ(a.total.global_reads, 10u);
+
+  const std::string s = a.to_string();
+  EXPECT_NE(s.find("launches=3"), std::string::npos);
+  EXPECT_NE(s.find("blocks=8"), std::string::npos);
+}
+
+TEST(KernelStats, DeviceAccumulationMatchesManualComposition) {
+  Device dev(tiny_spec(2, 4));
+  KernelStats manual = dev.launch(2, [](BlockContext& ctx) {
+    ctx.parallel_for(4, [&](std::size_t) { ctx.charge_read(1); });
+  });
+  manual += dev.launch(3, [](BlockContext& ctx) {
+    ctx.parallel_for(16, [&](std::size_t) { ctx.charge_write(2); });
+  });
+  EXPECT_EQ(dev.accumulated().num_blocks, 5);
+  EXPECT_EQ(dev.accumulated().launches, 2);
+  EXPECT_DOUBLE_EQ(dev.accumulated().max_block_cycles,
+                   manual.max_block_cycles);
+  EXPECT_DOUBLE_EQ(dev.accumulated().makespan_cycles,
+                   manual.makespan_cycles);
+  EXPECT_EQ(dev.accumulated().total.global_writes,
+            manual.total.global_writes);
+}
+
 TEST(Device, LaunchQueueAggregatesAndReportsPerJobStats) {
   Device dev(tiny_spec(2, 4));
   std::vector<BlockCounters> per_job;

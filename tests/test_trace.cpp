@@ -1,0 +1,294 @@
+// Trace-correctness tests for the observability layer: span nesting, the
+// launch-timeline accounting contract (every queue job placed exactly
+// once), zero-overhead disabled mode, and exporter round-trips through the
+// strict JSON parser.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/json.hpp"
+#include "trace/metrics.hpp"
+#include "trace/report.hpp"
+#include "trace/trace.hpp"
+#include "trace/validate.hpp"
+
+namespace bcdyn {
+namespace {
+
+using trace::TraceEvent;
+
+/// Every test runs against the process-wide tracer, so reset it around
+/// each test and leave it disabled (the default) afterwards.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::tracer().set_enabled(true);
+    trace::tracer().clear();
+  }
+  void TearDown() override {
+    trace::tracer().set_enabled(false);
+    trace::tracer().clear();
+  }
+};
+
+TEST_F(TraceTest, SpansStrictlyNestAndValidate) {
+  {
+    trace::Span outer("outer", "test", {{"depth", 0}});
+    {
+      trace::Span inner("inner", "test", {{"depth", 1}});
+    }
+    trace::Span sibling("sibling", "test");
+  }
+  const auto events = trace::tracer().events();
+  ASSERT_EQ(events.size(), 6u);  // three B/E pairs
+
+  // B(outer) B(inner) E B(sibling) E E — sibling closes before outer
+  // (reverse destruction order at the end of the block).
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].phase, TraceEvent::Phase::kBegin);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[2].phase, TraceEvent::Phase::kEnd);
+  EXPECT_EQ(events[3].name, "sibling");
+  EXPECT_EQ(events[3].phase, TraceEvent::Phase::kBegin);
+  EXPECT_EQ(events[4].phase, TraceEvent::Phase::kEnd);
+  EXPECT_EQ(events[5].phase, TraceEvent::Phase::kEnd);
+
+  // Same host track throughout, monotonic timestamps, clean validation.
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.pid, trace::kHostPid);
+    EXPECT_EQ(ev.tid, events[0].tid);
+  }
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_us, events[i - 1].ts_us);
+  }
+  EXPECT_TRUE(trace::validate_events(events).empty());
+}
+
+TEST_F(TraceTest, UnbalancedSpanFailsValidation) {
+  trace::tracer().begin("left-open", "test");
+  const auto problems = trace::validate_events(trace::tracer().events());
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("left-open"), std::string::npos);
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  trace::tracer().set_enabled(false);
+  trace::tracer().clear();
+  {
+    trace::Span span("ignored", "test");
+    trace::tracer().instant("ignored", "test");
+    trace::tracer().counter("ignored", 1.0);
+  }
+  sim::Device device(sim::DeviceSpec::gtx_560());
+  device.launch(4, [](sim::BlockContext& ctx) { ctx.charge_instr(8); },
+                "untraced");
+  EXPECT_EQ(trace::tracer().event_count(), 0u);
+  // The schedule is still recorded locally (it never depends on tracing).
+  EXPECT_EQ(device.last_timeline().placements.size(), 4u);
+}
+
+TEST_F(TraceTest, LaunchBlocksAppearExactlyOnce) {
+  sim::Device device(sim::DeviceSpec::gtx_560());
+  constexpr int kBlocks = 11;  // more blocks than the 7 SMs => queuing
+  device.launch(
+      kBlocks,
+      [](sim::BlockContext& ctx) {
+        ctx.charge_instr(static_cast<std::size_t>(ctx.block_id() + 1));
+      },
+      "test.launch");
+
+  const auto events = trace::tracer().events();
+  EXPECT_TRUE(trace::validate_events(events).empty());
+
+  std::vector<int> indices;
+  int summaries = 0;
+  for (const auto& ev : events) {
+    if (ev.pid != device.trace_pid()) continue;
+    if (ev.cat == trace::kCatLaunch) {
+      ++summaries;
+      EXPECT_EQ(ev.name, "test.launch");
+      EXPECT_EQ(trace::arg_value(ev, trace::kArgBlocks, -1), kBlocks);
+    } else if (ev.cat == trace::kCatBlock) {
+      indices.push_back(
+          static_cast<int>(trace::arg_value(ev, trace::kArgIndex, -1)));
+      EXPECT_GE(ev.tid, 0);
+      EXPECT_LT(ev.tid, device.spec().num_sms);
+      EXPECT_GT(ev.dur_us, 0.0);
+    }
+  }
+  EXPECT_EQ(summaries, 1);
+  ASSERT_EQ(indices.size(), static_cast<std::size_t>(kBlocks));
+  std::sort(indices.begin(), indices.end());
+  for (int i = 0; i < kBlocks; ++i) EXPECT_EQ(indices[i], i);
+}
+
+TEST_F(TraceTest, LaunchQueueJobsAppearExactlyOnce) {
+  sim::Device device(sim::DeviceSpec::tesla_c2075());
+  constexpr int kJobs = 37;  // skewed job sizes across 14 resident lanes
+  device.launch_queue(
+      kJobs,
+      [](sim::BlockContext& ctx, int job) {
+        ctx.parallel_for(static_cast<std::size_t>(1 + 7 * (job % 5)),
+                         [&](std::size_t) { ctx.charge_read(); });
+      },
+      nullptr, "test.batch");
+
+  const auto events = trace::tracer().events();
+  EXPECT_TRUE(trace::validate_events(events).empty());
+
+  std::vector<int> indices;
+  for (const auto& ev : events) {
+    if (ev.pid != device.trace_pid() || ev.cat != trace::kCatJob) continue;
+    indices.push_back(
+        static_cast<int>(trace::arg_value(ev, trace::kArgIndex, -1)));
+  }
+  ASSERT_EQ(indices.size(), static_cast<std::size_t>(kJobs));
+  std::sort(indices.begin(), indices.end());
+  for (int i = 0; i < kJobs; ++i) EXPECT_EQ(indices[i], i);
+}
+
+TEST_F(TraceTest, BackToBackLaunchesDoNotOverlap) {
+  sim::Device device(sim::DeviceSpec::gtx_560());
+  for (int rep = 0; rep < 3; ++rep) {
+    device.launch(9, [](sim::BlockContext& ctx) { ctx.charge_instr(16); },
+                  "test.repeat");
+  }
+  const auto events = trace::tracer().events();
+  // The validator includes the per-SM overlap check: three launches on a
+  // shared modeled-time axis must lay out back to back.
+  EXPECT_TRUE(trace::validate_events(events).empty());
+  int summaries = 0;
+  for (const auto& ev : events) {
+    if (ev.pid == device.trace_pid() && ev.cat == trace::kCatLaunch) {
+      ++summaries;
+    }
+  }
+  EXPECT_EQ(summaries, 3);
+}
+
+TEST_F(TraceTest, ValidatorFlagsManufacturedOverlap) {
+  std::vector<TraceEvent> events;
+  TraceEvent a;
+  a.phase = TraceEvent::Phase::kComplete;
+  a.name = "block";
+  a.cat = trace::kCatBlock;
+  a.pid = trace::kDevicePidBase;
+  a.tid = 0;
+  a.ts_us = 0.0;
+  a.dur_us = 10.0;
+  TraceEvent b = a;
+  b.ts_us = 5.0;  // overlaps [0, 10) on the same SM track
+  events.push_back(a);
+  events.push_back(b);
+  EXPECT_FALSE(trace::validate_events(events).empty());
+}
+
+TEST_F(TraceTest, ChromeTraceRoundTripsThroughParser) {
+  {
+    trace::Span span("host.work", "test", {{"n", 42}});
+    sim::Device device(sim::DeviceSpec::gtx_560());
+    device.launch(5, [](sim::BlockContext& ctx) { ctx.charge_instr(4); },
+                  "test.export");
+  }
+  const auto events = trace::tracer().events();
+  ASSERT_FALSE(events.empty());
+
+  const std::string json = trace::chrome_trace_string(trace::tracer());
+  const auto parsed = trace::parse_json(json);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto* trace_events = parsed.value.find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_TRUE(trace_events->is_array());
+
+  // Every recorded event appears exactly once; the rest are "M" metadata.
+  std::size_t non_meta = 0;
+  for (const auto& ev : trace_events->array) {
+    const auto* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_TRUE(ph->is_string());
+    ASSERT_NE(ev.find("pid"), nullptr);
+    if (ph->str != "M") ++non_meta;
+  }
+  EXPECT_EQ(non_meta, events.size());
+}
+
+TEST_F(TraceTest, MetricsJsonRoundTripsThroughParser) {
+  trace::MetricsRegistry reg;
+  reg.add("bc.case1.count", 3);
+  reg.add("bc.case2.count", 2);
+  reg.set_gauge("batch.geomean_speedup", 1.75);
+  reg.observe("bc.touched_fraction", 0.25);
+  reg.observe("bc.touched_fraction", 0.5);
+  reg.observe("bc.frontier_size", 12.0);
+
+  std::ostringstream out;
+  reg.write_json(out);
+  const auto parsed = trace::parse_json(out.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+
+  const auto* counters = parsed.value.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const auto* case1 = counters->find("bc.case1.count");
+  ASSERT_NE(case1, nullptr);
+  EXPECT_DOUBLE_EQ(case1->number, 3.0);
+
+  const auto* gauges = parsed.value.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const auto* speedup = gauges->find("batch.geomean_speedup");
+  ASSERT_NE(speedup, nullptr);
+  EXPECT_DOUBLE_EQ(speedup->number, 1.75);
+
+  const auto* histograms = parsed.value.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const auto* touched = histograms->find("bc.touched_fraction");
+  ASSERT_NE(touched, nullptr);
+  const auto* count = touched->find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->number, 2.0);
+  const auto* max = touched->find("max");
+  ASSERT_NE(max, nullptr);
+  EXPECT_DOUBLE_EQ(max->number, 0.5);
+}
+
+TEST_F(TraceTest, JsonParserRejectsMalformedInput) {
+  EXPECT_FALSE(trace::parse_json("{\"a\": 1,}").ok);      // trailing comma
+  EXPECT_FALSE(trace::parse_json("{\"a\": 1} x").ok);     // trailing garbage
+  EXPECT_FALSE(trace::parse_json("{\"a\": 1 \"b\"}").ok); // missing comma
+  EXPECT_FALSE(trace::parse_json("[1, 2").ok);            // unterminated
+  EXPECT_TRUE(trace::parse_json("{\"a\": [1, -2.5e3, null, true]}").ok);
+}
+
+TEST_F(TraceTest, HistogramBucketsAreLog2) {
+  trace::MetricsRegistry reg;
+  reg.observe("h", 0.5);   // bucket 0: < 1
+  reg.observe("h", 1.0);   // bucket 1: [1, 2)
+  reg.observe("h", 3.0);   // bucket 2: [2, 4)
+  reg.observe("h", 5.0);   // bucket 3: [4, 8)
+  const auto h = reg.histogram("h");
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 1u);
+  EXPECT_EQ(h.buckets[3], 1u);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 5.0);
+}
+
+TEST_F(TraceTest, ReportMentionsNamedLaunches) {
+  sim::Device device(sim::DeviceSpec::gtx_560());
+  device.launch(4, [](sim::BlockContext& ctx) { ctx.charge_instr(8); },
+                "test.report_kernel");
+  trace::MetricsRegistry reg;
+  reg.add("bc.case2.count", 9);
+  const std::string report =
+      trace::report_string(trace::tracer(), reg);
+  EXPECT_NE(report.find("test.report_kernel"), std::string::npos);
+  EXPECT_NE(report.find("case mix"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcdyn
