@@ -49,8 +49,8 @@ int main(int argc, char** argv) {
       100.0 * folding.removed / std::max(1, g.num_vertices()),
       static_cast<long long>(folding.remaining_edges));
 
-  DynamicBc analytic(g, ApproxConfig{.num_sources = sources, .seed = 12},
-                     EngineKind::kGpuNode);
+  DynamicBc analytic(g, {.engine = EngineKind::kGpuNode,
+                         .approx = {.num_sources = sources, .seed = 12}});
   analytic.compute();
   std::printf("\ntop-5 central vertices (k=%d sources):\n", sources);
   for (const auto& [v, score] : analytic.top_k(5)) {

@@ -24,8 +24,8 @@ int main() {
   // 2. Configure the analytic. 64 random source vertices approximate BC
   //    (pass num_sources = 0 for the exact computation); the engine can be
   //    kCpu, kGpuEdge, or kGpuNode - results are identical.
-  DynamicBc analytic(graph, ApproxConfig{.num_sources = 64, .seed = 1},
-                     EngineKind::kCpu);
+  DynamicBc analytic(graph, {.engine = EngineKind::kCpu,
+                             .approx = {.num_sources = 64, .seed = 1}});
 
   // 3. Initial static pass (Brandes over the source set).
   analytic.compute();
@@ -46,7 +46,7 @@ int main() {
       v = static_cast<VertexId>(rng.next_below(2000));
     } while (u == v || analytic.dynamic_graph().has_edge(u, v));
 
-    const InsertOutcome r = analytic.insert_edge(u, v);
+    const UpdateOutcome r = analytic.insert_edge(u, v);
     std::printf(
         "  +(%4d,%4d): case1=%2d case2=%2d case3=%2d  max_touched=%4d  "
         "update=%.2fms (modeled %.3fms)\n",

@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
   std::vector<Tracked> engines;
   for (EngineKind kind :
        {EngineKind::kCpu, EngineKind::kGpuEdge, EngineKind::kGpuNode}) {
-    engines.push_back({kind, std::make_unique<DynamicBc>(topo, cfg, kind), 0.0});
+    engines.push_back({kind, std::make_unique<DynamicBc>(
+                           topo, DynamicBc::Options{.engine = kind, .approx = cfg}), 0.0});
     engines.back().analytic->compute();
   }
 

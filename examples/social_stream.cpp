@@ -4,6 +4,7 @@
 //
 //   $ ./social_stream [--users=N] [--batches=B] [--batch-size=K]
 //                     [--engine=cpu|gpu-node|gpu-edge] [--threshold=F]
+//                     [--devices=N]
 //
 // Demonstrates: GPU-simulated engines behind the same API, batched updates
 // (each batch of friendships is ONE analytic update / work-queue kernel
@@ -27,19 +28,19 @@ int main(int argc, char** argv) {
   const auto users = static_cast<VertexId>(cli.get_int("users", 4000));
   const int batches = static_cast<int>(cli.get_int("batches", 6));
   const int batch_size = static_cast<int>(cli.get_int("batch-size", 20));
-  const std::string engine_name = cli.get("engine", "gpu-node");
   const BatchConfig config{cli.get_double("threshold", 0.25)};
-
-  const EngineKind kind = engine_name == "cpu"        ? EngineKind::kCpu
-                          : engine_name == "gpu-edge" ? EngineKind::kGpuEdge
-                                                      : EngineKind::kGpuNode;
+  const EngineKind kind = parse_engine_flag(cli.get("engine", "gpu-node"));
+  const int devices = static_cast<int>(cli.get_int("devices", 1));
 
   const CSRGraph graph = gen::preferential_attachment(users, 4, 11);
-  std::printf("social graph: %d users, %lld friendships, engine=%s\n",
+  std::printf("social graph: %d users, %lld friendships, engine=%s"
+              " devices=%d\n",
               graph.num_vertices(), static_cast<long long>(graph.num_edges()),
-              to_string(kind));
+              to_string(kind), devices);
 
-  DynamicBc analytic(graph, ApproxConfig{.num_sources = 64, .seed = 2}, kind);
+  DynamicBc analytic(graph, {.engine = kind,
+                             .approx = {.num_sources = 64, .seed = 2},
+                             .num_devices = devices});
   analytic.compute();
 
   auto top10 = analytic.top_k(10);
@@ -70,7 +71,7 @@ int main(int argc, char** argv) {
           });
       if (!pending) friendships.emplace_back(u, v);
     }
-    const BatchOutcome r = analytic.insert_edge_batch(friendships, config);
+    const UpdateOutcome r = analytic.insert_edge_batch(friendships, config);
 
     const auto now = analytic.top_k(10);
     int churn = 0;

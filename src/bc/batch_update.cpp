@@ -31,12 +31,10 @@ CpuOpCounters brandes_pass_cost(const CSRGraph& g) {
   return c;
 }
 
-/// Provisional per-source batch weight from the pre-batch distance row:
-/// the scheduling priority of the (source, batch) job. Case-3 edges move
-/// distances and dominate, case-2 edges cost a frontier walk, case-1 edges
-/// are free. Classifications against the evolving row can differ, so this
-/// is a heuristic, not a semantic input - it only orders the work queue
-/// (longest-predicted-first, the LPT rule the greedy SM schedule wants).
+}  // namespace
+
+namespace detail {
+
 std::int64_t batch_job_weight(std::span<const Dist> dist,
                               const BatchSnapshots& batch) {
   std::int64_t weight = 0;
@@ -48,7 +46,7 @@ std::int64_t batch_job_weight(std::span<const Dist> dist,
   return weight;
 }
 
-}  // namespace
+}  // namespace detail
 
 BatchSnapshots build_batch_snapshots(
     const CSRGraph& base,
@@ -191,7 +189,7 @@ GpuBatchResult DynamicGpuBc::insert_edge_batch(const BatchSnapshots& batch,
   std::vector<std::int64_t> weight(static_cast<std::size_t>(k), 0);
   for (int si = 0; si < k; ++si) {
     weight[static_cast<std::size_t>(si)] =
-        batch_job_weight(store.dist_row(si), batch);
+        detail::batch_job_weight(store.dist_row(si), batch);
   }
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
     return weight[static_cast<std::size_t>(a)] >
@@ -232,7 +230,7 @@ GpuBatchResult DynamicGpuBc::insert_edge_batch(const BatchSnapshots& batch,
   return result;
 }
 
-BatchOutcome DynamicBc::insert_edge_batch(
+UpdateOutcome DynamicBc::insert_edge_batch(
     std::span<const std::pair<VertexId, VertexId>> edges,
     const BatchConfig& config) {
   if (!computed_) {
@@ -243,7 +241,7 @@ BatchOutcome DynamicBc::insert_edge_batch(
                    {{"edges", static_cast<double>(edges.size())},
                     {"threshold", config.recompute_threshold}});
   util::Stopwatch structure_clock;
-  BatchOutcome outcome;
+  UpdateOutcome outcome;
   std::vector<std::pair<VertexId, VertexId>> accepted;
   accepted.reserve(edges.size());
   for (const auto& [u, v] : edges) {
@@ -268,13 +266,18 @@ BatchOutcome DynamicBc::insert_edge_batch(
   std::span<const SourceBatchOutcome> per_source;
   CpuBatchResult cpu_result;
   GpuBatchResult gpu_result;
-  if (engine_ == EngineKind::kCpu) {
+  ShardedBatchResult sharded_result;
+  if (engine() == EngineKind::kCpu) {
     cpu_engine_->reset_counters();
     cpu_result = batch_insert_update(*cpu_engine_, batch, store_, config);
     per_source = cpu_result.outcomes;
     outcome.modeled_seconds =
         sim::cpu_seconds(cost_model_, cpu_result.ops.instrs,
                          cpu_result.ops.reads, cpu_result.ops.writes);
+  } else if (sharded_) {
+    sharded_result = sharded_->insert_edge_batch(batch, store_, config);
+    per_source = sharded_result.outcomes;
+    outcome.modeled_seconds = sharded_result.launch.group.seconds;
   } else {
     gpu_result = gpu_engine_->insert_edge_batch(batch, store_, config);
     per_source = gpu_result.outcomes;
@@ -291,9 +294,11 @@ BatchOutcome DynamicBc::insert_edge_batch(
   return outcome;
 }
 
-BatchOutcome DynamicBc::insert_edge_batch(
+UpdateOutcome DynamicBc::insert_edge_batch(
     std::span<const std::pair<VertexId, VertexId>> edges) {
-  return insert_edge_batch(edges, BatchConfig{});
+  return insert_edge_batch(
+      edges,
+      BatchConfig{.recompute_threshold = options().batch_recompute_threshold});
 }
 
 }  // namespace bcdyn

@@ -32,6 +32,7 @@
 
 #include "bc/bc_store.hpp"
 #include "bc/dynamic_cpu.hpp"
+#include "bc/update_outcome.hpp"
 #include "gpusim/kernel_stats.hpp"
 #include "graph/csr_graph.hpp"
 #include "util/types.hpp"
@@ -92,22 +93,20 @@ CpuBatchResult batch_insert_update(DynamicCpuEngine& engine,
                                    const BatchSnapshots& batch, BcStore& store,
                                    const BatchConfig& config = {});
 
-/// Outcome of DynamicBc::insert_edge_batch (the DynamicBc-level aggregate
-/// of the per-source outcomes above).
-struct BatchOutcome {
-  int inserted = 0;            // edges actually added to the graph
-  int skipped = 0;             // rejected entries (dupes, self loops, ...)
-  int case1 = 0;               // summed per-source per-edge classifications
-  int case2 = 0;
-  int case3 = 0;
-  int recomputed_sources = 0;  // jobs that hit the recompute fallback
-  VertexId max_touched = 0;    // largest per-source cumulative touched set
-  double update_wall_seconds = 0.0;
-  double modeled_seconds = 0.0;
-  double structure_wall_seconds = 0.0;
-};
+// DynamicBc::insert_edge_batch reports its aggregate as an UpdateOutcome
+// (bc/update_outcome.hpp); the BatchOutcome name survives as a deprecated
+// alias there.
 
 namespace detail {
+
+/// Provisional per-source batch weight from the pre-batch distance row:
+/// the scheduling priority of a (source, batch) job. Case-3 edges move
+/// distances and dominate, case-2 edges cost a frontier walk, case-1 edges
+/// are free. A heuristic, not a semantic input - it only orders (and, for
+/// the sharded engine, shards) the work queue. Shared by the single-device
+/// work-queue launch and the multi-device sharded path.
+std::int64_t batch_job_weight(std::span<const Dist> dist,
+                              const BatchSnapshots& batch);
 
 /// The per-source batch driver shared by every engine: applies edge i via
 /// `update(i)` (which returns that edge's SourceUpdateOutcome) and, when

@@ -10,6 +10,30 @@
 
 namespace bcdyn {
 
+namespace {
+
+/// Folds per-source outcomes into the update-level aggregate (case counts
+/// and the touched max). Shared by every engine branch.
+void fold_outcomes(std::span<const SourceUpdateOutcome> outcomes,
+                   UpdateOutcome& out) {
+  for (const auto& o : outcomes) {
+    switch (o.update_case) {
+      case UpdateCase::kNoWork:
+        ++out.case1;
+        break;
+      case UpdateCase::kAdjacent:
+        ++out.case2;
+        break;
+      case UpdateCase::kFar:
+        ++out.case3;
+        break;
+    }
+    out.max_touched = std::max(out.max_touched, o.touched);
+  }
+}
+
+}  // namespace
+
 const char* to_string(EngineKind kind) {
   switch (kind) {
     case EngineKind::kCpu:
@@ -22,30 +46,69 @@ const char* to_string(EngineKind kind) {
   return "?";
 }
 
-DynamicBc::DynamicBc(const CSRGraph& g, ApproxConfig config, EngineKind engine,
-                     sim::DeviceSpec device_spec, bool track_atomic_conflicts)
+std::optional<EngineKind> engine_from_string(std::string_view name) {
+  if (name == "cpu") return EngineKind::kCpu;
+  if (name == "gpu-edge") return EngineKind::kGpuEdge;
+  if (name == "gpu-node") return EngineKind::kGpuNode;
+  return std::nullopt;
+}
+
+EngineKind parse_engine_flag(std::string_view flag) {
+  if (const auto kind = engine_from_string(flag)) return *kind;
+  throw std::invalid_argument("unknown engine '" + std::string(flag) +
+                              "' (want cpu|gpu-edge|gpu-node)");
+}
+
+DynamicBc::DynamicBc(const CSRGraph& g, const Options& options)
     : dyn_(DynamicGraph::from_csr(g)),
       csr_(g),
-      store_(g.num_vertices(), config),
-      engine_(engine) {
-  switch (engine_) {
+      store_(g.num_vertices(), options.approx),
+      options_(options) {
+  if (options_.num_devices < 1) {
+    throw std::invalid_argument("DynamicBc: num_devices must be >= 1");
+  }
+  switch (options_.engine) {
     case EngineKind::kCpu:
       cpu_engine_ = std::make_unique<DynamicCpuEngine>(g.num_vertices());
       break;
     case EngineKind::kGpuEdge:
     case EngineKind::kGpuNode: {
-      const Parallelism mode = engine_ == EngineKind::kGpuEdge
+      const Parallelism mode = options_.engine == EngineKind::kGpuEdge
                                    ? Parallelism::kEdge
                                    : Parallelism::kNode;
-      gpu_engine_ = std::make_unique<DynamicGpuBc>(
-          device_spec, mode, cost_model_, /*host_workers=*/0,
-          track_atomic_conflicts);
-      gpu_static_ = std::make_unique<StaticGpuBc>(
-          device_spec, mode, cost_model_, /*host_workers=*/0,
-          track_atomic_conflicts);
+      if (options_.num_devices > 1) {
+        sharded_ = std::make_unique<ShardedGpuBc>(
+            options_.num_devices, options_.device_spec, mode, cost_model_,
+            options_.track_atomic_conflicts, options_.shard_policy);
+      } else {
+        gpu_engine_ = std::make_unique<DynamicGpuBc>(
+            options_.device_spec, mode, cost_model_, /*host_workers=*/0,
+            options_.track_atomic_conflicts);
+        gpu_static_ = std::make_unique<StaticGpuBc>(
+            options_.device_spec, mode, cost_model_, /*host_workers=*/0,
+            options_.track_atomic_conflicts);
+      }
       break;
     }
   }
+}
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+DynamicBc::DynamicBc(const CSRGraph& g, ApproxConfig config, EngineKind engine,
+                     sim::DeviceSpec device_spec, bool track_atomic_conflicts)
+    : DynamicBc(g, Options{.engine = engine,
+                           .approx = config,
+                           .device_spec = std::move(device_spec),
+                           .track_atomic_conflicts = track_atomic_conflicts}) {}
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
+int DynamicBc::num_devices() const {
+  return sharded_ ? sharded_->num_devices() : 1;
 }
 
 void DynamicBc::compute() {
@@ -57,14 +120,16 @@ void DynamicBc::compute() {
 }
 
 void DynamicBc::recompute() {
-  if (engine_ == EngineKind::kCpu) {
+  if (options_.engine == EngineKind::kCpu) {
     brandes_all(csr_, store_);
+  } else if (sharded_) {
+    sharded_->compute(csr_, store_);
   } else {
     gpu_static_->compute(csr_, store_);
   }
 }
 
-InsertOutcome DynamicBc::insert_edge(VertexId u, VertexId v) {
+UpdateOutcome DynamicBc::insert_edge(VertexId u, VertexId v) {
   if (!computed_) {
     throw std::logic_error("DynamicBc::compute() must run before insert_edge");
   }
@@ -72,25 +137,26 @@ InsertOutcome DynamicBc::insert_edge(VertexId u, VertexId v) {
                    {{"u", static_cast<double>(u)},
                     {"v", static_cast<double>(v)}});
   util::Stopwatch structure_clock;
-  InsertOutcome outcome;
+  UpdateOutcome outcome;
   if (!dyn_.insert_edge(u, v)) {
     return outcome;  // self loop, out of range, or already present
   }
   csr_ = dyn_.snapshot_csr();
   outcome.structure_wall_seconds = structure_clock.elapsed_s();
   outcome = run_update(u, v);
-  outcome.inserted = true;
+  outcome.inserted = 1;
   outcome.structure_wall_seconds = structure_clock.elapsed_s() -
                                    outcome.update_wall_seconds;
   return outcome;
 }
 
-InsertOutcome DynamicBc::insert_edges(
+UpdateOutcome DynamicBc::insert_edges(
     std::span<const std::pair<VertexId, VertexId>> edges) {
-  InsertOutcome total;
+  UpdateOutcome total;
   for (const auto& [u, v] : edges) {
-    const InsertOutcome one = insert_edge(u, v);
-    total.inserted = total.inserted || one.inserted;
+    const UpdateOutcome one = insert_edge(u, v);
+    total.inserted += one.inserted;
+    if (!one.inserted) ++total.skipped;
     total.case1 += one.case1;
     total.case2 += one.case2;
     total.case3 += one.case3;
@@ -118,56 +184,39 @@ double DynamicBc::verify_against_recompute() const {
   return worst;
 }
 
-InsertOutcome DynamicBc::run_update(VertexId u, VertexId v) {
+UpdateOutcome DynamicBc::run_update(VertexId u, VertexId v) {
   trace::Span span("bc.run_update", "bc");
-  InsertOutcome outcome;
+  UpdateOutcome outcome;
   util::Stopwatch clock;
-  if (engine_ == EngineKind::kCpu) {
+  if (options_.engine == EngineKind::kCpu) {
     cpu_engine_->reset_counters();
+    std::vector<SourceUpdateOutcome> outcomes(
+        static_cast<std::size_t>(store_.num_sources()));
     for (int si = 0; si < store_.num_sources(); ++si) {
       const VertexId s = store_.sources()[static_cast<std::size_t>(si)];
-      const SourceUpdateOutcome r = cpu_engine_->update_source(
+      outcomes[static_cast<std::size_t>(si)] = cpu_engine_->update_source(
           csr_, s, store_.dist_row(si), store_.sigma_row(si),
           store_.delta_row(si), store_.bc(), u, v);
-      switch (r.update_case) {
-        case UpdateCase::kNoWork:
-          ++outcome.case1;
-          break;
-        case UpdateCase::kAdjacent:
-          ++outcome.case2;
-          break;
-        case UpdateCase::kFar:
-          ++outcome.case3;
-          break;
-      }
-      outcome.max_touched = std::max(outcome.max_touched, r.touched);
     }
+    fold_outcomes(outcomes, outcome);
     const CpuOpCounters& ops = cpu_engine_->counters();
     outcome.modeled_seconds =
         sim::cpu_seconds(cost_model_, ops.instrs, ops.reads, ops.writes);
+  } else if (sharded_) {
+    const ShardedUpdateResult r =
+        sharded_->insert_edge_update(csr_, store_, u, v);
+    fold_outcomes(r.outcomes, outcome);
+    outcome.modeled_seconds = r.launch.group.seconds;
   } else {
     const GpuUpdateResult r = gpu_engine_->insert_edge_update(csr_, store_, u, v);
-    for (const auto& o : r.outcomes) {
-      switch (o.update_case) {
-        case UpdateCase::kNoWork:
-          ++outcome.case1;
-          break;
-        case UpdateCase::kAdjacent:
-          ++outcome.case2;
-          break;
-        case UpdateCase::kFar:
-          ++outcome.case3;
-          break;
-      }
-      outcome.max_touched = std::max(outcome.max_touched, o.touched);
-    }
+    fold_outcomes(r.outcomes, outcome);
     outcome.modeled_seconds = r.stats.seconds;
   }
   outcome.update_wall_seconds = clock.elapsed_s();
   return outcome;
 }
 
-InsertOutcome DynamicBc::remove_edge(VertexId u, VertexId v) {
+UpdateOutcome DynamicBc::remove_edge(VertexId u, VertexId v) {
   if (!computed_) {
     throw std::logic_error("DynamicBc::compute() must run before remove_edge");
   }
@@ -175,59 +224,42 @@ InsertOutcome DynamicBc::remove_edge(VertexId u, VertexId v) {
                    {{"u", static_cast<double>(u)},
                     {"v", static_cast<double>(v)}});
   util::Stopwatch structure_clock;
-  InsertOutcome outcome;
+  UpdateOutcome outcome;
   if (!dyn_.remove_edge(u, v)) {
     return outcome;
   }
   csr_ = dyn_.snapshot_csr();
   outcome.structure_wall_seconds = structure_clock.elapsed_s();
   util::Stopwatch clock;
-  if (engine_ == EngineKind::kCpu) {
+  if (options_.engine == EngineKind::kCpu) {
     // Decremental incremental path: same-level removals are free, adjacent
     // removals with surviving parents run the negative-increment Case 2,
     // and only distance-growing removals recompute (per source, not
     // globally).
     cpu_engine_->reset_counters();
+    std::vector<SourceUpdateOutcome> outcomes(
+        static_cast<std::size_t>(store_.num_sources()));
     for (int si = 0; si < store_.num_sources(); ++si) {
       const VertexId s = store_.sources()[static_cast<std::size_t>(si)];
-      const SourceUpdateOutcome r = cpu_engine_->remove_update_source(
+      outcomes[static_cast<std::size_t>(si)] = cpu_engine_->remove_update_source(
           csr_, s, store_.dist_row(si), store_.sigma_row(si),
           store_.delta_row(si), store_.bc(), u, v);
-      switch (r.update_case) {
-        case UpdateCase::kNoWork:
-          ++outcome.case1;
-          break;
-        case UpdateCase::kAdjacent:
-          ++outcome.case2;
-          break;
-        case UpdateCase::kFar:
-          ++outcome.case3;
-          break;
-      }
-      outcome.max_touched = std::max(outcome.max_touched, r.touched);
     }
+    fold_outcomes(outcomes, outcome);
     const CpuOpCounters& ops = cpu_engine_->counters();
     outcome.modeled_seconds =
         sim::cpu_seconds(cost_model_, ops.instrs, ops.reads, ops.writes);
+  } else if (sharded_) {
+    const ShardedUpdateResult r =
+        sharded_->remove_edge_update(csr_, store_, u, v);
+    fold_outcomes(r.outcomes, outcome);
+    outcome.modeled_seconds = r.launch.group.seconds;
   } else {
     const GpuUpdateResult r = gpu_engine_->remove_edge_update(csr_, store_, u, v);
-    for (const auto& o : r.outcomes) {
-      switch (o.update_case) {
-        case UpdateCase::kNoWork:
-          ++outcome.case1;
-          break;
-        case UpdateCase::kAdjacent:
-          ++outcome.case2;
-          break;
-        case UpdateCase::kFar:
-          ++outcome.case3;
-          break;
-      }
-      outcome.max_touched = std::max(outcome.max_touched, o.touched);
-    }
+    fold_outcomes(r.outcomes, outcome);
     outcome.modeled_seconds = r.stats.seconds;
   }
-  outcome.inserted = true;
+  outcome.inserted = 1;
   outcome.update_wall_seconds = clock.elapsed_s();
   return outcome;
 }

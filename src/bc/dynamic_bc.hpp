@@ -1,59 +1,84 @@
 // Public entry point: a dynamic betweenness-centrality analytic over a
 // streaming graph.
 //
-//   bcdyn::DynamicBc analytic(graph, {.num_sources = 256, .seed = 1});
+//   bcdyn::DynamicBc analytic(graph, {.engine = bcdyn::EngineKind::kGpuEdge,
+//                                     .approx = {.num_sources = 256},
+//                                     .num_devices = 2});
 //   analytic.compute();                  // initial static pass
 //   auto r = analytic.insert_edge(u, v); // incremental update
 //   std::span<const double> bc = analytic.scores();
 //
 // The engine can be the sequential CPU algorithm (Green et al.) or either
 // simulated-GPU variant (edge-/node-parallel); all produce identical
-// scores. Graph-structure maintenance cost (the CSR snapshot refresh after
-// an insertion) is tracked separately from analytic-update time, matching
-// the paper's methodology (§IV cites STINGER [23] for the structure side).
+// scores. GPU engines optionally shard their per-source jobs across
+// `num_devices` simulated devices with cross-device work stealing
+// (bc/sharded_gpu.hpp) - scores stay bit-identical to one device; only the
+// modeled time scales. Graph-structure maintenance cost (the CSR snapshot
+// refresh after an insertion) is tracked separately from analytic-update
+// time, matching the paper's methodology (§IV cites STINGER [23] for the
+// structure side).
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bc/bc_store.hpp"
 #include "bc/dynamic_cpu.hpp"
 #include "bc/dynamic_gpu.hpp"
+#include "bc/sharded_gpu.hpp"
 #include "bc/static_gpu.hpp"
+#include "bc/update_outcome.hpp"
 #include "graph/dynamic_graph.hpp"
 
 namespace bcdyn {
 
-// Batch-update types (bc/batch_update.hpp).
+// Batch-update config (bc/batch_update.hpp).
 struct BatchConfig;
-struct BatchOutcome;
 
 enum class EngineKind { kCpu, kGpuEdge, kGpuNode };
 
 const char* to_string(EngineKind kind);
 
-/// Summary of one insertion's analytic update.
-struct InsertOutcome {
-  bool inserted = false;  // false: invalid endpoints or edge already present
-  int case1 = 0;          // per-source scenario counts (paper Fig. 2)
-  int case2 = 0;
-  int case3 = 0;
-  VertexId max_touched = 0;          // largest per-source touched set
-  double update_wall_seconds = 0.0;  // host wall clock of the analytic update
-  double modeled_seconds = 0.0;      // cost-model time (device or CPU model)
-  double structure_wall_seconds = 0.0;  // graph + snapshot maintenance
-};
+/// Parses the names to_string produces ("cpu", "gpu-edge", "gpu-node");
+/// nullopt for anything else. The single home for engine-name parsing -
+/// tools and benches must not hand-roll their own.
+std::optional<EngineKind> engine_from_string(std::string_view name);
+
+/// engine_from_string for CLI flags: throws std::invalid_argument naming
+/// the accepted values when `flag` is not an engine name.
+EngineKind parse_engine_flag(std::string_view flag);
 
 class DynamicBc {
  public:
+  /// Everything configurable about the analytic, in one aggregate.
+  struct Options {
+    EngineKind engine = EngineKind::kCpu;
+    ApproxConfig approx;  // source sampling (paper §II.B)
+    sim::DeviceSpec device_spec = sim::DeviceSpec::tesla_c2075();
+    /// GPU engines only: shard per-source jobs across this many simulated
+    /// devices with cross-device work stealing. 1 = the single-device
+    /// engines; scores are bit-identical either way.
+    int num_devices = 1;
+    ShardPolicy shard_policy = ShardPolicy::kRoundRobin;
+    /// Turns on the simulator's per-address atomic conflict accounting
+    /// (observability only - it feeds the sim.atomic_conflicts.* metrics
+    /// and the bcdyn_trace report, never the modeled results).
+    bool track_atomic_conflicts = false;
+    /// Default BatchConfig::recompute_threshold for insert_edge_batch
+    /// calls that do not pass an explicit config.
+    double batch_recompute_threshold = 0.25;
+  };
+
   /// Snapshot `g`; the analytic owns its own dynamic copy of the graph.
-  /// `track_atomic_conflicts` turns on the simulator's per-address atomic
-  /// conflict accounting (observability only - it feeds the
-  /// sim.atomic_conflicts.* metrics and the bcdyn_trace report, never the
-  /// modeled results).
+  DynamicBc(const CSRGraph& g, const Options& options);
+
+  /// Pre-Options constructor. Forwards to the Options form; kept so older
+  /// call sites compile.
+  [[deprecated("use DynamicBc(graph, Options{...})")]]
   DynamicBc(const CSRGraph& g, ApproxConfig config,
             EngineKind engine = EngineKind::kCpu,
             sim::DeviceSpec device_spec = sim::DeviceSpec::tesla_c2075(),
@@ -64,14 +89,13 @@ class DynamicBc {
   void compute();
 
   /// Insert an undirected edge and incrementally update the analytic.
-  InsertOutcome insert_edge(VertexId u, VertexId v);
+  UpdateOutcome insert_edge(VertexId u, VertexId v);
 
   /// Insert a batch of edges one at a time; returns the aggregated outcome
-  /// (case counts summed, timings summed, max_touched maxed, `inserted`
-  /// true if at least one edge was new). Each edge pays a full analytic
-  /// update (and, on GPU engines, a kernel launch); prefer
-  /// insert_edge_batch for streams of insertions.
-  InsertOutcome insert_edges(
+  /// (`inserted` and case counts summed, timings summed, max_touched
+  /// maxed). Each edge pays a full analytic update (and, on GPU engines, a
+  /// kernel launch); prefer insert_edge_batch for streams of insertions.
+  UpdateOutcome insert_edges(
       std::span<const std::pair<VertexId, VertexId>> edges);
 
   /// Insert a batch of edges as ONE analytic update: the engine coalesces
@@ -80,16 +104,17 @@ class DynamicBc {
   /// a source's touched fraction crosses config.recompute_threshold. Final
   /// scores equal applying the edges one at a time, in any order. Defined
   /// in bc/batch_update.cpp.
-  BatchOutcome insert_edge_batch(
+  UpdateOutcome insert_edge_batch(
       std::span<const std::pair<VertexId, VertexId>> edges,
       const BatchConfig& config);
-  BatchOutcome insert_edge_batch(
+  /// Same, with Options::batch_recompute_threshold as the config.
+  UpdateOutcome insert_edge_batch(
       std::span<const std::pair<VertexId, VertexId>> edges);
 
-  /// Remove an edge. Decremental updates are outside the paper's evaluated
-  /// scope, so this updates the structure and recomputes the analytic
-  /// statically; the outcome's modeled_seconds reflects that full pass.
-  InsertOutcome remove_edge(VertexId u, VertexId v);
+  /// Remove an edge and incrementally update the analytic (same-level
+  /// removals are free; only distance-growing removals recompute, and only
+  /// per affected source).
+  UpdateOutcome remove_edge(VertexId u, VertexId v);
 
   std::span<const double> scores() const { return store_.bc(); }
   const BcStore& store() const { return store_; }
@@ -97,7 +122,10 @@ class DynamicBc {
   const CSRGraph& graph() const { return csr_; }
   const DynamicGraph& dynamic_graph() const { return dyn_; }
   bool computed() const { return computed_; }
-  EngineKind engine() const { return engine_; }
+  EngineKind engine() const { return options_.engine; }
+  const Options& options() const { return options_; }
+  /// Simulated devices the GPU engines run on (1 for the CPU engine).
+  int num_devices() const;
 
   /// The `k` highest-scoring vertices, descending (ties by vertex id).
   std::vector<std::pair<VertexId, double>> top_k(int k) const;
@@ -109,18 +137,19 @@ class DynamicBc {
   double verify_against_recompute() const;
 
  private:
-  InsertOutcome run_update(VertexId u, VertexId v);
+  UpdateOutcome run_update(VertexId u, VertexId v);
   void recompute();
 
   DynamicGraph dyn_;
   CSRGraph csr_;
   BcStore store_;
-  EngineKind engine_;
+  Options options_;
   bool computed_ = false;
 
   std::unique_ptr<DynamicCpuEngine> cpu_engine_;
-  std::unique_ptr<DynamicGpuBc> gpu_engine_;
-  std::unique_ptr<StaticGpuBc> gpu_static_;
+  std::unique_ptr<DynamicGpuBc> gpu_engine_;     // num_devices == 1
+  std::unique_ptr<StaticGpuBc> gpu_static_;      // num_devices == 1
+  std::unique_ptr<ShardedGpuBc> sharded_;        // num_devices > 1
   sim::CostModel cost_model_;
 };
 

@@ -726,6 +726,63 @@ SourceUpdateOutcome gpu_insert_source_update(sim::BlockContext& ctx,
   return outcome;
 }
 
+SourceUpdateOutcome gpu_remove_source_update(
+    sim::BlockContext& ctx, GpuWorkspace& ws, Parallelism mode,
+    const CSRGraph& g, VertexId s, std::span<Dist> d, std::span<Sigma> sigma,
+    std::span<double> delta, std::span<double> bc, VertexId u, VertexId v,
+    std::vector<VertexId>& order, std::vector<std::size_t>& level_offsets) {
+  Rows rows{d, sigma, delta};
+  SourceUpdateOutcome outcome;
+  ctx.charge_read(2);
+  ctx.charge_instr(4);
+  const Dist du = rows.d[static_cast<std::size_t>(u)];
+  const Dist dv = rows.d[static_cast<std::size_t>(v)];
+  if (du == dv) {
+    // The edge was never on a shortest path from this source.
+    outcome.update_case = UpdateCase::kNoWork;
+    outcome.touched = 0;
+    record_source_update_metrics(outcome, g.num_vertices());
+    return outcome;
+  }
+  const VertexId u_high = du < dv ? u : v;
+  const VertexId u_low = du < dv ? v : u;
+  const auto lo = static_cast<std::size_t>(u_low);
+
+  // Does u_low keep another parent in the post-removal graph?
+  bool has_other_parent = false;
+  ctx.charge_read(1);
+  for (VertexId x : g.neighbors(u_low)) {
+    ctx.charge_read(2);
+    ctx.charge_instr(1);
+    if (rows.d[static_cast<std::size_t>(x)] + 1 == rows.d[lo]) {
+      has_other_parent = true;
+      break;
+    }
+  }
+
+  if (has_other_parent) {
+    outcome.update_case = UpdateCase::kAdjacent;
+    init_kernel(ctx, ws, rows, u_high, u_low, /*case3=*/false, /*sign=*/-1.0);
+    if (mode == Parallelism::kEdge) {
+      edge_case2(ctx, g, s, rows, ws, u_high, u_low, /*removal=*/true);
+    } else {
+      node_case2(ctx, g, s, rows, ws, u_high, u_low, /*removal=*/true);
+    }
+    outcome.touched = finalize_kernel(ctx, ws, rows, bc, s, /*case3=*/false);
+    record_source_update_metrics(outcome, g.num_vertices());
+    return outcome;
+  }
+
+  // Distance-growing removal: recompute this source's row on the device
+  // and fold the dependency differences into BC.
+  outcome.update_case = UpdateCase::kFar;
+  outcome.touched = g.num_vertices();
+  gpu_recompute_source(ctx, ws, mode, g, s, rows.d, rows.sigma, rows.delta,
+                       bc, order, level_offsets);
+  record_source_update_metrics(outcome, g.num_vertices());
+  return outcome;
+}
+
 void gpu_recompute_source(sim::BlockContext& ctx, GpuWorkspace& ws,
                           Parallelism mode, const CSRGraph& g, VertexId s,
                           std::span<Dist> d, std::span<Sigma> sigma,
@@ -819,58 +876,9 @@ GpuUpdateResult DynamicGpuBc::remove_edge_update(const CSRGraph& g,
     std::vector<std::size_t> level_offsets;
     for (int si = ctx.block_id(); si < k; si += num_blocks) {
       const VertexId s = store.sources()[static_cast<std::size_t>(si)];
-      Rows rows{store.dist_row(si), store.sigma_row(si), store.delta_row(si)};
-      auto& outcome = outcomes[static_cast<std::size_t>(si)];
-      ctx.charge_read(2);
-      ctx.charge_instr(4);
-      const Dist du = rows.d[static_cast<std::size_t>(u)];
-      const Dist dv = rows.d[static_cast<std::size_t>(v)];
-      if (du == dv) {
-        // The edge was never on a shortest path from this source.
-        outcome.update_case = UpdateCase::kNoWork;
-        outcome.touched = 0;
-        record_source_update_metrics(outcome, g.num_vertices());
-        continue;
-      }
-      const VertexId u_high = du < dv ? u : v;
-      const VertexId u_low = du < dv ? v : u;
-      const auto lo = static_cast<std::size_t>(u_low);
-
-      // Does u_low keep another parent in the post-removal graph?
-      bool has_other_parent = false;
-      ctx.charge_read(1);
-      for (VertexId x : g.neighbors(u_low)) {
-        ctx.charge_read(2);
-        ctx.charge_instr(1);
-        if (rows.d[static_cast<std::size_t>(x)] + 1 == rows.d[lo]) {
-          has_other_parent = true;
-          break;
-        }
-      }
-
-      if (has_other_parent) {
-        outcome.update_case = UpdateCase::kAdjacent;
-        init_kernel(ctx, ws, rows, u_high, u_low, /*case3=*/false,
-                    /*sign=*/-1.0);
-        if (mode == Parallelism::kEdge) {
-          edge_case2(ctx, g, s, rows, ws, u_high, u_low, /*removal=*/true);
-        } else {
-          node_case2(ctx, g, s, rows, ws, u_high, u_low, /*removal=*/true);
-        }
-        outcome.touched =
-            finalize_kernel(ctx, ws, rows, store.bc(), s, /*case3=*/false);
-        record_source_update_metrics(outcome, g.num_vertices());
-        continue;
-      }
-
-      // Distance-growing removal: recompute this source's row on the device
-      // and fold the dependency differences into BC.
-      outcome.update_case = UpdateCase::kFar;
-      outcome.touched = g.num_vertices();
-      detail::gpu_recompute_source(ctx, ws, mode, g, s, rows.d, rows.sigma,
-                                   rows.delta, store.bc(), order,
-                                   level_offsets);
-      record_source_update_metrics(outcome, g.num_vertices());
+      outcomes[static_cast<std::size_t>(si)] = detail::gpu_remove_source_update(
+          ctx, ws, mode, g, s, store.dist_row(si), store.sigma_row(si),
+          store.delta_row(si), store.bc(), u, v, order, level_offsets);
     }
   }, mode_ == Parallelism::kEdge ? "remove.edge" : "remove.node");
   return result;

@@ -117,6 +117,18 @@ SourceUpdateOutcome gpu_insert_source_update(sim::BlockContext& ctx,
                                              std::span<double> bc, VertexId u,
                                              VertexId v);
 
+/// One removal applied to one source row inside an existing block:
+/// classify (same-level removals are free), run the negative-increment
+/// Case 2 kernels when u_low keeps another parent, otherwise recompute the
+/// row on the device. `order`/`level_offsets` are node-parallel frontier
+/// scratch for the recompute fallback. Shared by the per-edge launch loop
+/// and the sharded multi-device path.
+SourceUpdateOutcome gpu_remove_source_update(
+    sim::BlockContext& ctx, GpuWorkspace& ws, Parallelism mode,
+    const CSRGraph& g, VertexId s, std::span<Dist> d, std::span<Sigma> sigma,
+    std::span<double> delta, std::span<double> bc, VertexId u, VertexId v,
+    std::vector<VertexId>& order, std::vector<std::size_t>& level_offsets);
+
 /// Recomputes source s's row from scratch on the device and folds the
 /// dependency differences into `bc`. Shared by the distance-growing removal
 /// fallback and the batch path's touched-fraction fallback. `order` and

@@ -1,0 +1,37 @@
+// The one outcome type for every analytic update.
+//
+// Single-edge insertions/removals, multi-edge loops, and batched updates
+// all report the same core: per-source case classifications (paper Fig. 2),
+// the largest touched set, and the wall/modeled/structure timings. Batched
+// updates additionally count rejected entries and recompute fallbacks;
+// those extension fields stay zero on the per-edge paths.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace bcdyn {
+
+struct UpdateOutcome {
+  /// Edges actually applied to the graph: 0 or 1 for single-edge
+  /// operations (usable as a bool), the applied count for insert_edges and
+  /// batch updates.
+  int inserted = 0;
+  int skipped = 0;  // batch only: rejected entries (dupes, self loops, ...)
+
+  int case1 = 0;  // per-source scenario counts, summed over applied edges
+  int case2 = 0;
+  int case3 = 0;
+  int recomputed_sources = 0;  // batch only: jobs that hit the fallback
+
+  VertexId max_touched = 0;          // largest per-source touched set
+  double update_wall_seconds = 0.0;  // host wall clock of the analytic update
+  double modeled_seconds = 0.0;      // cost-model time (device or CPU model)
+  double structure_wall_seconds = 0.0;  // graph + snapshot maintenance
+};
+
+/// Pre-unification names; both were field-for-field subsets of
+/// UpdateOutcome. New code should use UpdateOutcome directly.
+using InsertOutcome [[deprecated("use UpdateOutcome")]] = UpdateOutcome;
+using BatchOutcome [[deprecated("use UpdateOutcome")]] = UpdateOutcome;
+
+}  // namespace bcdyn

@@ -28,8 +28,13 @@ namespace bcdyn::sim {
 
 class BlockContext {
  public:
+  /// Holds pointers to `spec` and `cost`; both must outlive the context
+  /// (Device owns them for the production paths). Temporaries are rejected
+  /// at compile time to keep the borrow honest.
   BlockContext(const DeviceSpec& spec, const CostModel& cost, int block_id,
                bool track_atomic_conflicts = false);
+  BlockContext(DeviceSpec&&, const CostModel&, int, bool = false) = delete;
+  BlockContext(const DeviceSpec&, CostModel&&, int, bool = false) = delete;
 
   int block_id() const { return block_id_; }
   int num_threads() const { return spec_->threads_per_block; }

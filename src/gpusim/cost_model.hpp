@@ -32,6 +32,12 @@ struct CostModel {
   double job_pop_cycles = 40.0;  // work-queue pop: one warp-aggregated
                                  // atomic on the queue head plus the branch
                                  // back to the persistent block's main loop
+  double steal_cycles = 400.0;   // cross-device steal of one queued job: a
+                                 // CAS on the victim device's queue tail
+                                 // over the interconnect plus the transfer
+                                 // of the job descriptor (per-source rows
+                                 // live in unified memory, so no row data
+                                 // moves with the job)
 
   // Aggregate memory-throughput terms, charged per round on the *sum* of
   // the round's accesses (the per-access costs above enter the round's

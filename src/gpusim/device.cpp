@@ -79,18 +79,31 @@ KernelStats Device::finish_launch(std::string_view name, std::string_view cat,
                                   const std::vector<BlockContext>& contexts,
                                   double setup_cycles,
                                   double dispatch_cycles) {
-  KernelStats stats;
-  stats.num_blocks = num_blocks;
-  stats.launches = 1;
+  std::vector<BlockCounters> counters;
   std::vector<double> block_cycles;
+  counters.reserve(contexts.size());
   block_cycles.reserve(contexts.size());
   for (const auto& ctx : contexts) {
-    stats.total += ctx.counters();
-    stats.max_block_cycles = std::max(stats.max_block_cycles, ctx.cycles());
+    counters.push_back(ctx.counters());
     block_cycles.push_back(ctx.cycles());
   }
   LaunchTimeline timeline =
       schedule_blocks(block_cycles, spec_.num_sms, dispatch_cycles);
+  return record_scheduled_launch(name, cat, num_blocks, counters,
+                                 std::move(timeline), setup_cycles);
+}
+
+KernelStats Device::record_scheduled_launch(
+    std::string_view name, std::string_view cat, int num_blocks,
+    const std::vector<BlockCounters>& counters, LaunchTimeline timeline,
+    double setup_cycles) {
+  KernelStats stats;
+  stats.num_blocks = num_blocks;
+  stats.launches = 1;
+  for (const auto& c : counters) {
+    stats.total += c;
+    stats.max_block_cycles = std::max(stats.max_block_cycles, c.cycles);
+  }
   stats.makespan_cycles = setup_cycles + timeline.makespan_cycles;
   stats.seconds = stats.makespan_cycles / (spec_.clock_ghz * 1e9);
   accumulated_ += stats;
@@ -102,7 +115,7 @@ KernelStats Device::finish_launch(std::string_view name, std::string_view cat,
   // recorded in percent so the log2 buckets spread usefully.
   auto& reg = trace::metrics();
   reg.add("sim.launches");
-  reg.add("sim.blocks", contexts.size());
+  reg.add("sim.blocks", counters.size());
   if (stats.total.atomic_conflicts > 0) {
     reg.add("sim.atomic_conflicts", stats.total.atomic_conflicts);
     reg.add("sim.atomic_conflicts." + label, stats.total.atomic_conflicts);

@@ -87,6 +87,19 @@ class Device {
                            std::vector<BlockCounters>* per_job = nullptr,
                            std::string_view name = {});
 
+  /// Records a launch whose block->SM schedule was computed externally (the
+  /// DeviceGroup work-stealing scheduler). `counters[i]` holds the counters
+  /// of the block/job behind `timeline.placements[i]`; placement indices
+  /// must be 0..placements-1 (the trace validators require it). Emits the
+  /// same stats, metrics, and trace events as launch()/launch_queue() and
+  /// advances this device's modeled-time origin - the kernels themselves
+  /// must already have run.
+  KernelStats record_scheduled_launch(std::string_view name,
+                                      std::string_view cat, int num_blocks,
+                                      const std::vector<BlockCounters>& counters,
+                                      LaunchTimeline timeline,
+                                      double setup_cycles);
+
   /// Cumulative stats across all launches since construction/reset.
   const KernelStats& accumulated() const { return accumulated_; }
   void reset_accumulated() { accumulated_ = {}; }

@@ -14,6 +14,10 @@
 //   batch.touched_fraction                             cumulative, per job
 //   sim.launches / sim.blocks / sim.atomic_conflicts   device totals
 //   sim.occupancy / sim.imbalance                      per-launch histograms
+//   sim.group.launches / sim.group.jobs                sharded group totals
+//   sim.group.steals                                   cross-device steals
+//   sim.group.devices                                  gauge, group width
+//   sim.group.stolen_fraction / sim.group.imbalance    per-launch histograms
 #pragma once
 
 #include <array>

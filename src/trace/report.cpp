@@ -121,6 +121,29 @@ void write_report(const std::vector<TraceEvent>& events,
     }
   }
 
+  // --- device group (multi-device sharded launches) ------------------
+  const std::uint64_t group_launches =
+      registry.counter_value("sim.group.launches");
+  if (group_launches > 0) {
+    out << "\n== device group ==\n";
+    out << "  " << fmt("%.0f", registry.gauge_value("sim.group.devices"))
+        << " devices, " << group_launches << " sharded launches, "
+        << registry.counter_value("sim.group.jobs") << " jobs, "
+        << registry.counter_value("sim.group.steals")
+        << " cross-device steals\n";
+    const auto stolen = registry.histogram("sim.group.stolen_fraction");
+    if (stolen.count > 0) {
+      out << "  stolen fraction: mean " << fmt("%.3f", stolen.mean())
+          << ", max " << fmt("%.3f", stolen.max) << " per launch\n";
+    }
+    const auto imbalance = registry.histogram("sim.group.imbalance");
+    if (imbalance.count > 0) {
+      out << "  device imbalance (busiest/mean): mean "
+          << fmt("%.2f", imbalance.mean()) << "x, max "
+          << fmt("%.2f", imbalance.max) << "x\n";
+    }
+  }
+
   // --- case mix ------------------------------------------------------
   const std::uint64_t case1 = registry.counter_value("bc.case1.count");
   const std::uint64_t case2 = registry.counter_value("bc.case2.count");

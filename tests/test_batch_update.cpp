@@ -74,14 +74,14 @@ void check_batch_equals_sequential(EngineKind kind, double threshold) {
   ASSERT_FALSE(edges.empty());
   ApproxConfig cfg{.num_sources = 16, .seed = 9};
 
-  DynamicBc batched(g, cfg, kind);
+  DynamicBc batched(g, {.engine = kind, .approx = cfg});
   batched.compute();
-  const BatchOutcome out =
+  const UpdateOutcome out =
       batched.insert_edge_batch(edges, BatchConfig{threshold});
   EXPECT_EQ(out.inserted, static_cast<int>(edges.size()));
   EXPECT_EQ(out.skipped, 0);
 
-  DynamicBc sequential(g, cfg, kind);
+  DynamicBc sequential(g, {.engine = kind, .approx = cfg});
   sequential.compute();
   for (const auto& [u, v] : edges) sequential.insert_edge(u, v);
 
@@ -120,10 +120,10 @@ TEST(BatchUpdate, ZeroThresholdReportsRecomputedSources) {
   const auto g = test::gnp_graph(50, 0.05, 17);
   const auto edges = random_batch(g, 8, 18);
   ASSERT_GT(edges.size(), 1u);
-  DynamicBc analytic(g, ApproxConfig{.num_sources = 8, .seed = 3},
-                     EngineKind::kGpuEdge);
+  DynamicBc analytic(g, {.engine = EngineKind::kGpuEdge,
+                         .approx = {.num_sources = 8, .seed = 3}});
   analytic.compute();
-  const BatchOutcome out = analytic.insert_edge_batch(edges, BatchConfig{0.0});
+  const UpdateOutcome out = analytic.insert_edge_batch(edges, BatchConfig{0.0});
   // With threshold 0 any source whose first edges touch vertices bails out.
   EXPECT_GT(out.recomputed_sources, 0);
   EXPECT_LT(analytic.verify_against_recompute(), 1e-7);
@@ -138,13 +138,13 @@ TEST(BatchUpdate, BatchIsOrderIndependent) {
   ASSERT_GT(edges.size(), 2u);
   ApproxConfig cfg{.num_sources = 12, .seed = 2};
 
-  DynamicBc forward(g, cfg, EngineKind::kGpuNode);
+  DynamicBc forward(g, {.engine = EngineKind::kGpuNode, .approx = cfg});
   forward.compute();
   forward.insert_edge_batch(edges);
 
   std::mt19937 shuffle_rng(7);
   std::shuffle(edges.begin(), edges.end(), shuffle_rng);
-  DynamicBc shuffled(g, cfg, EngineKind::kGpuNode);
+  DynamicBc shuffled(g, {.engine = EngineKind::kGpuNode, .approx = cfg});
   shuffled.compute();
   shuffled.insert_edge_batch(edges);
 
@@ -252,17 +252,17 @@ TEST(BatchUpdate, BatchModelsFasterThanSingleEdgeLaunches) {
 
 TEST(BatchUpdate, EmptyAndAllSkippedBatchesAreNoOps) {
   const auto g = test::complete_graph(8);
-  DynamicBc analytic(g, ApproxConfig{.num_sources = 0, .seed = 1},
-                     EngineKind::kCpu);
+  DynamicBc analytic(g, {.engine = EngineKind::kCpu,
+                         .approx = {.num_sources = 0, .seed = 1}});
   analytic.compute();
   const auto before = std::vector<double>(analytic.scores().begin(),
                                           analytic.scores().end());
 
-  const BatchOutcome empty = analytic.insert_edge_batch({});
+  const UpdateOutcome empty = analytic.insert_edge_batch({});
   EXPECT_EQ(empty.inserted, 0);
 
   const std::vector<std::pair<VertexId, VertexId>> dupes = {{0, 1}, {2, 2}};
-  const BatchOutcome skipped = analytic.insert_edge_batch(dupes);
+  const UpdateOutcome skipped = analytic.insert_edge_batch(dupes);
   EXPECT_EQ(skipped.inserted, 0);
   EXPECT_EQ(skipped.skipped, 2);
   test::expect_near_spans(analytic.scores(), before, 0.0, "bc unchanged");
@@ -270,7 +270,7 @@ TEST(BatchUpdate, EmptyAndAllSkippedBatchesAreNoOps) {
 
 TEST(BatchUpdate, ThrowsBeforeCompute) {
   const auto g = test::path_graph(4);
-  DynamicBc analytic(g, ApproxConfig{.num_sources = 0, .seed = 1});
+  DynamicBc analytic(g, {.approx = {.num_sources = 0, .seed = 1}});
   const std::vector<std::pair<VertexId, VertexId>> edges = {{0, 2}};
   EXPECT_THROW(analytic.insert_edge_batch(edges), std::logic_error);
 }
@@ -281,10 +281,10 @@ TEST(BatchUpdate, MixedValidAndSkippedEdgesStayExact) {
   ASSERT_FALSE(edges.empty());
   edges.insert(edges.begin() + 1, {2, 2});        // self loop
   edges.push_back(edges.front());                 // in-batch duplicate
-  DynamicBc analytic(g, ApproxConfig{.num_sources = 0, .seed = 5},
-                     EngineKind::kGpuEdge);
+  DynamicBc analytic(g, {.engine = EngineKind::kGpuEdge,
+                         .approx = {.num_sources = 0, .seed = 5}});
   analytic.compute();
-  const BatchOutcome out = analytic.insert_edge_batch(edges);
+  const UpdateOutcome out = analytic.insert_edge_batch(edges);
   EXPECT_EQ(out.skipped, 2);
   EXPECT_EQ(out.inserted, static_cast<int>(edges.size()) - 2);
   EXPECT_LT(analytic.verify_against_recompute(), 1e-7);

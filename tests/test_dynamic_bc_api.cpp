@@ -2,6 +2,8 @@
 // removal fallback, and ranking.
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 #include "bc/brandes.hpp"
 #include "bc/dynamic_bc.hpp"
 #include "gen/generators.hpp"
@@ -12,7 +14,7 @@ namespace {
 
 TEST(DynamicBcApi, ComputeThenInsertMatchesStatic) {
   const auto g = test::gnp_graph(50, 0.06, 41);
-  DynamicBc analytic(g, ApproxConfig{.num_sources = 0, .seed = 1});
+  DynamicBc analytic(g, {.approx = {.num_sources = 0, .seed = 1}});
   analytic.compute();
   EXPECT_TRUE(analytic.computed());
 
@@ -30,13 +32,13 @@ TEST(DynamicBcApi, ComputeThenInsertMatchesStatic) {
 
 TEST(DynamicBcApi, InsertBeforeComputeThrows) {
   const auto g = test::path_graph(5);
-  DynamicBc analytic(g, ApproxConfig{.num_sources = 0, .seed = 1});
+  DynamicBc analytic(g, {.approx = {.num_sources = 0, .seed = 1}});
   EXPECT_THROW(analytic.insert_edge(0, 2), std::logic_error);
 }
 
 TEST(DynamicBcApi, RejectsDegenerateInsertions) {
   const auto g = test::path_graph(5);
-  DynamicBc analytic(g, ApproxConfig{.num_sources = 0, .seed = 1});
+  DynamicBc analytic(g, {.approx = {.num_sources = 0, .seed = 1}});
   analytic.compute();
   EXPECT_FALSE(analytic.insert_edge(1, 1).inserted);   // self loop
   EXPECT_FALSE(analytic.insert_edge(0, 1).inserted);   // already present
@@ -50,7 +52,8 @@ TEST(DynamicBcApi, AllThreeEnginesAgree) {
   for (EngineKind kind :
        {EngineKind::kCpu, EngineKind::kGpuEdge, EngineKind::kGpuNode}) {
     analytics.push_back(std::make_unique<DynamicBc>(
-        g, ApproxConfig{.num_sources = 10, .seed = 3}, kind));
+        g, DynamicBc::Options{.engine = kind,
+                              .approx = {.num_sources = 10, .seed = 3}}));
     analytics.back()->compute();
   }
   util::Rng rng(77);
@@ -68,7 +71,7 @@ TEST(DynamicBcApi, AllThreeEnginesAgree) {
 
 TEST(DynamicBcApi, RemoveEdgeRecomputes) {
   const auto g = test::cycle_graph(12);
-  DynamicBc analytic(g, ApproxConfig{.num_sources = 0, .seed = 1});
+  DynamicBc analytic(g, {.approx = {.num_sources = 0, .seed = 1}});
   analytic.compute();
   const auto outcome = analytic.remove_edge(0, 1);
   EXPECT_TRUE(outcome.inserted);  // "applied"
@@ -81,7 +84,7 @@ TEST(DynamicBcApi, RemoveEdgeRecomputes) {
 
 TEST(DynamicBcApi, TopKRanking) {
   const auto g = test::star_graph(8);
-  DynamicBc analytic(g, ApproxConfig{.num_sources = 0, .seed = 1});
+  DynamicBc analytic(g, {.approx = {.num_sources = 0, .seed = 1}});
   analytic.compute();
   const auto top = analytic.top_k(3);
   ASSERT_EQ(top.size(), 3u);
@@ -95,7 +98,7 @@ TEST(DynamicBcApi, TopKRanking) {
 
 TEST(DynamicBcApi, CaseCountsMatchFigure2Semantics) {
   const auto g = gen::small_world(200, 4, 0.1, 7);
-  DynamicBc analytic(g, ApproxConfig{.num_sources = 32, .seed = 5});
+  DynamicBc analytic(g, {.approx = {.num_sources = 32, .seed = 5}});
   analytic.compute();
   util::Rng rng(3);
   const auto [u, v] = test::random_absent_edge(analytic.graph(), rng);
@@ -110,6 +113,77 @@ TEST(DynamicBcApi, EngineNames) {
   EXPECT_STREQ(to_string(EngineKind::kGpuNode), "gpu-node");
   EXPECT_STREQ(to_string(Parallelism::kEdge), "Edge");
   EXPECT_STREQ(to_string(Parallelism::kNode), "Node");
+}
+
+TEST(DynamicBcApi, EngineParsingRoundTrips) {
+  for (EngineKind kind :
+       {EngineKind::kCpu, EngineKind::kGpuEdge, EngineKind::kGpuNode}) {
+    const auto parsed = engine_from_string(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+    EXPECT_EQ(parse_engine_flag(to_string(kind)), kind);
+  }
+  EXPECT_FALSE(engine_from_string("gpu").has_value());
+  EXPECT_FALSE(engine_from_string("").has_value());
+  EXPECT_FALSE(engine_from_string("CPU").has_value());
+  EXPECT_THROW(parse_engine_flag("warp"), std::invalid_argument);
+}
+
+TEST(DynamicBcApi, InsertEdgesCountsApplied) {
+  const auto g = test::path_graph(6);
+  DynamicBc analytic(g, {.approx = {.num_sources = 0, .seed = 1}});
+  analytic.compute();
+  // Two new edges, one duplicate, one self loop.
+  const std::vector<std::pair<VertexId, VertexId>> edges = {
+      {0, 2}, {0, 1}, {3, 3}, {1, 5}};
+  const UpdateOutcome total = analytic.insert_edges(edges);
+  EXPECT_EQ(total.inserted, 2);
+  EXPECT_EQ(total.skipped, 2);
+  // Every applied edge classifies every source; skipped edges classify none.
+  EXPECT_EQ(total.case1 + total.case2 + total.case3, 2 * 6);
+  EXPECT_EQ(analytic.verify_against_recompute(), 0.0);
+}
+
+TEST(DynamicBcApi, UpdateOutcomeDefaultsAreEmpty) {
+  const UpdateOutcome outcome;
+  EXPECT_EQ(outcome.inserted, 0);
+  EXPECT_FALSE(outcome.inserted);  // usable as a bool for single-edge ops
+  EXPECT_EQ(outcome.skipped, 0);
+  EXPECT_EQ(outcome.case1 + outcome.case2 + outcome.case3, 0);
+  EXPECT_EQ(outcome.recomputed_sources, 0);
+  EXPECT_EQ(outcome.max_touched, 0);
+}
+
+TEST(DynamicBcApi, DeprecatedAliasesAndCtorStillWork) {
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  // The pre-unification names are the same type.
+  static_assert(std::is_same_v<InsertOutcome, UpdateOutcome>);
+  static_assert(std::is_same_v<BatchOutcome, UpdateOutcome>);
+
+  // The pre-Options constructor delegates to the Options form.
+  const auto g = test::gnp_graph(30, 0.1, 17);
+  DynamicBc legacy(g, ApproxConfig{.num_sources = 8, .seed = 2},
+                   EngineKind::kGpuEdge);
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+  DynamicBc modern(g, {.engine = EngineKind::kGpuEdge,
+                       .approx = {.num_sources = 8, .seed = 2}});
+  legacy.compute();
+  modern.compute();
+  EXPECT_EQ(legacy.engine(), EngineKind::kGpuEdge);
+  EXPECT_EQ(legacy.num_devices(), 1);
+  util::Rng rng(5);
+  const auto [u, v] = test::random_absent_edge(legacy.graph(), rng);
+  EXPECT_TRUE(legacy.insert_edge(u, v).inserted);
+  EXPECT_TRUE(modern.insert_edge(u, v).inserted);
+  // Same engine, same config: bit-identical scores.
+  for (std::size_t i = 0; i < legacy.scores().size(); ++i) {
+    EXPECT_EQ(legacy.scores()[i], modern.scores()[i]);
+  }
 }
 
 }  // namespace

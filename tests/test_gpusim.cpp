@@ -23,7 +23,8 @@ DeviceSpec tiny_spec(int sms = 2, int threads = 4) {
 
 TEST(BlockContext, RoundCountMatchesCeilDivision) {
   const CostModel cm;
-  BlockContext ctx(tiny_spec(1, 4), cm, 0);
+  const auto spec = tiny_spec(1, 4);
+  BlockContext ctx(spec, cm, 0);
   ctx.parallel_for(10, [&](std::size_t) {});
   // 10 items over 4 threads = 3 rounds (4+4+2).
   EXPECT_EQ(ctx.counters().rounds, 3u);
@@ -33,7 +34,8 @@ TEST(BlockContext, RoundCountMatchesCeilDivision) {
 
 TEST(BlockContext, EmptyLoopStillCostsARoundAndBarrier) {
   const CostModel cm;
-  BlockContext ctx(tiny_spec(), cm, 0);
+  const auto spec = tiny_spec();
+  BlockContext ctx(spec, cm, 0);
   ctx.parallel_for(0, [&](std::size_t) { FAIL() << "must not run"; });
   EXPECT_EQ(ctx.counters().rounds, 1u);
   EXPECT_EQ(ctx.counters().items, 0u);
@@ -59,7 +61,8 @@ TEST(BlockContext, DivergenceAcrossRoundsAccumulates) {
   cm.barrier_cycles = 0.0;
   cm.instr_cycles = 1.0;
   cm.read_throughput_cycles = 0.0;
-  BlockContext ctx(tiny_spec(1, 2), cm, 0);
+  const auto spec = tiny_spec(1, 2);
+  BlockContext ctx(spec, cm, 0);
   // Items costs: round0 {3, 1} -> 3, round1 {2, 7} -> 7. Total 2+3+7 = 12.
   const int costs[] = {3, 1, 2, 7};
   ctx.parallel_for(4, [&](std::size_t i) {
@@ -80,7 +83,8 @@ TEST(BlockContext, AtomicConflictTrackingDetectsSameAddress) {
   EXPECT_EQ(spread.counters().atomic_conflicts, 0u);
 
   // Conflict window resets at round boundaries.
-  BlockContext rounds(tiny_spec(1, 2), cm, 0, true);
+  const auto narrow = tiny_spec(1, 2);
+  BlockContext rounds(narrow, cm, 0, true);
   rounds.parallel_for(4, [&](std::size_t) { rounds.charge_atomic(7); });
   EXPECT_EQ(rounds.counters().atomic_conflicts, 2u);  // one per round
 }
@@ -91,7 +95,8 @@ TEST(BlockContext, ThroughputTermChargesAggregateRoundTraffic) {
   cm.barrier_cycles = 0.0;
   cm.global_read_cycles = 0.0;  // isolate the throughput term
   cm.read_throughput_cycles = 0.5;
-  BlockContext ctx(tiny_spec(1, 4), cm, 0);
+  const auto spec = tiny_spec(1, 4);
+  BlockContext ctx(spec, cm, 0);
   ctx.parallel_for(4, [&](std::size_t) { ctx.charge_read(10); });
   // 40 reads in one round at 0.5 cycles each.
   EXPECT_DOUBLE_EQ(ctx.cycles(), 20.0);

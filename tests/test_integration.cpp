@@ -16,8 +16,8 @@ namespace {
 
 TEST(Integration, LongMixedInsertRemoveStream) {
   const auto g = gen::small_world(120, 3, 0.1, 31);
-  DynamicBc analytic(g, ApproxConfig{.num_sources = 16, .seed = 1},
-                     EngineKind::kGpuNode);
+  DynamicBc analytic(g, {.engine = EngineKind::kGpuNode,
+                         .approx = {.num_sources = 16, .seed = 1}});
   analytic.compute();
 
   util::Rng rng(55);
@@ -47,7 +47,7 @@ TEST(Integration, LongMixedInsertRemoveStream) {
 
 TEST(Integration, BatchInsertAggregatesOutcomes) {
   const auto g = test::gnp_graph(60, 0.05, 9);
-  DynamicBc analytic(g, ApproxConfig{.num_sources = 12, .seed = 2});
+  DynamicBc analytic(g, {.approx = {.num_sources = 12, .seed = 2}});
   analytic.compute();
 
   util::Rng rng(8);
@@ -141,7 +141,7 @@ TEST(Integration, SuiteGraphsSurviveShortStreams) {
 
 TEST(Integration, RepeatedInsertionOfSameEdgeIsStable) {
   const auto g = test::cycle_graph(20);
-  DynamicBc analytic(g, ApproxConfig{.num_sources = 0, .seed = 1});
+  DynamicBc analytic(g, {.approx = {.num_sources = 0, .seed = 1}});
   analytic.compute();
   EXPECT_TRUE(analytic.insert_edge(0, 10).inserted);
   const std::vector<double> after(analytic.scores().begin(),
@@ -166,7 +166,7 @@ TEST(Integration, ScoresScaleWithSourceCount) {
       exact_top = v;
     }
   }
-  DynamicBc analytic(g, ApproxConfig{.num_sources = 250, .seed = 3});
+  DynamicBc analytic(g, {.approx = {.num_sources = 250, .seed = 3}});
   analytic.compute();
   const auto top = analytic.top_k(3);
   const bool found = std::any_of(top.begin(), top.end(), [&](const auto& p) {

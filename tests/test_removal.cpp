@@ -153,8 +153,8 @@ TEST(Removal, InsertThenRemoveRoundTripsExactly) {
 
 TEST(Removal, DynamicBcUsesIncrementalPathOnCpu) {
   const auto g = gen::small_world(200, 4, 0.1, 5);
-  DynamicBc analytic(g, ApproxConfig{.num_sources = 24, .seed = 2},
-                     EngineKind::kCpu);
+  DynamicBc analytic(g, {.engine = EngineKind::kCpu,
+                         .approx = {.num_sources = 24, .seed = 2}});
   analytic.compute();
   // Remove a handful of random existing edges via the public API.
   auto coo = g.to_coo();
@@ -237,7 +237,7 @@ TEST(Removal, GpuMixedInsertRemoveStream) {
 TEST(Removal, DynamicBcGpuEnginesRemoveIncrementally) {
   const auto g = test::gnp_graph(60, 0.08, 44);
   for (EngineKind kind : {EngineKind::kGpuEdge, EngineKind::kGpuNode}) {
-    DynamicBc analytic(g, ApproxConfig{.num_sources = 10, .seed = 5}, kind);
+    DynamicBc analytic(g, {.engine = kind, .approx = {.num_sources = 10, .seed = 5}});
     analytic.compute();
     auto coo = g.to_coo();
     util::Rng rng(6);

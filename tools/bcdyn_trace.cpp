@@ -18,7 +18,7 @@
 // violation - a CI gate for the whole observability layer.
 //
 // Flags: --graph=small|caida|... --scale=F --seed=S --sources=K
-//        --engine=cpu|gpu-edge|gpu-node --insertions=N --batch=B
+//        --engine=cpu|gpu-edge|gpu-node --devices=N --insertions=N --batch=B
 //        --threshold=F --conflicts=0|1 --out=P --metrics=P --selftest
 
 #include <fstream>
@@ -50,6 +50,7 @@ struct Options {
   std::uint64_t seed = 7;
   int sources = 32;
   std::string engine = "gpu-edge";
+  int devices = 1;  // GPU engines: shard sources across N simulated devices
   int insertions = 8;
   int batch = 16;  // batched insertions after the per-edge ones (0 = none)
   double threshold = 0.25;
@@ -59,14 +60,6 @@ struct Options {
   bool selftest = false;
 };
 
-EngineKind parse_engine(const std::string& name) {
-  if (name == "cpu") return EngineKind::kCpu;
-  if (name == "gpu-edge") return EngineKind::kGpuEdge;
-  if (name == "gpu-node") return EngineKind::kGpuNode;
-  throw std::invalid_argument("unknown --engine=" + name +
-                              " (want cpu|gpu-edge|gpu-node)");
-}
-
 /// Runs the workload with tracing on and returns the number of applied
 /// insertions. The scenario is fully determined by `opt`.
 int run_scenario(const Options& opt) {
@@ -74,9 +67,12 @@ int run_scenario(const Options& opt) {
       gen::build_suite_graph(opt.graph, opt.scale, opt.seed);
   const VertexId n = entry.graph.num_vertices();
 
-  DynamicBc bc(entry.graph, {.num_sources = opt.sources, .seed = opt.seed},
-               parse_engine(opt.engine), sim::DeviceSpec::tesla_c2075(),
-               opt.conflicts);
+  DynamicBc bc(entry.graph,
+               {.engine = parse_engine_flag(opt.engine),
+                .approx = {.num_sources = opt.sources, .seed = opt.seed},
+                .num_devices = opt.devices,
+                .track_atomic_conflicts = opt.conflicts,
+                .batch_recompute_threshold = opt.threshold});
   bc.compute();
 
   util::Rng rng(opt.seed ^ 0x5ca1eULL);
@@ -130,6 +126,11 @@ int selftest() {
   tr.clear();
   tr.set_enabled(true);
   run_scenario(opt);
+  // Same scenario sharded across two devices: the multi-device timelines
+  // must satisfy every trace invariant too.
+  Options sharded = opt;
+  sharded.devices = 2;
+  run_scenario(sharded);
   tr.set_enabled(false);
 
   std::vector<std::string> problems = trace::validate_events(tr.events());
@@ -155,6 +156,9 @@ int selftest() {
       0) {
     problems.push_back("no case-mix counters recorded");
   }
+  if (trace::metrics().counter_value("sim.group.launches") == 0) {
+    problems.push_back("no device-group launches recorded");
+  }
 
   if (!problems.empty()) {
     for (const auto& p : problems) std::cerr << "selftest: " << p << "\n";
@@ -177,6 +181,7 @@ int main(int argc, char** argv) {
         cli.get_int("seed", static_cast<std::int64_t>(opt.seed)));
     opt.sources = static_cast<int>(cli.get_int("sources", opt.sources));
     opt.engine = cli.get("engine", opt.engine);
+    opt.devices = static_cast<int>(cli.get_int("devices", opt.devices));
     opt.insertions =
         static_cast<int>(cli.get_int("insertions", opt.insertions));
     opt.batch = static_cast<int>(cli.get_int("batch", opt.batch));
