@@ -46,21 +46,28 @@ void init_kernel(BlockContext& ctx, GpuWorkspace& ws, const Rows& rows,
   ctx.parallel_for(n, [&](std::size_t v) {
     ctx.charge_instr(1);
     if (v == static_cast<std::size_t>(u_low) && !case3) {
-      ctx.charge_read(2);
-      ctx.charge_write(3);
+      ctx.charge_read(rows.sigma, v);
+      ctx.charge_read(rows.sigma, static_cast<std::size_t>(u_high));
+      ctx.charge_write(ws.t, v);
+      ctx.charge_write(ws.sigma_hat, v);
+      ctx.charge_write(ws.delta_hat, v);
       ws.t[v] = kDown;
       ws.sigma_hat[v] =
           rows.sigma[v] + sign * rows.sigma[static_cast<std::size_t>(u_high)];
     } else {
-      ctx.charge_read(1);
-      ctx.charge_write(3);
+      ctx.charge_read(rows.sigma, v);
+      ctx.charge_write(ws.t, v);
+      ctx.charge_write(ws.sigma_hat, v);
+      ctx.charge_write(ws.delta_hat, v);
       ws.t[v] = kUntouched;
       ws.sigma_hat[v] = rows.sigma[v];
     }
     ws.delta_hat[v] = 0.0;
     if (case3) {
-      ctx.charge_read(1);
-      ctx.charge_write(3);
+      ctx.charge_read(rows.d, v);
+      ctx.charge_write(ws.d_new, v);
+      ctx.charge_write(ws.moved, v);
+      ctx.charge_write(ws.reset, v);
       ws.d_new[v] = rows.d[v];
       ws.moved[v] = 0;
       ws.reset[v] = 0;
@@ -77,23 +84,25 @@ VertexId finalize_kernel(BlockContext& ctx, GpuWorkspace& ws,
   VertexId touched = 0;
   ctx.parallel_for(n, [&](std::size_t v) {
     ctx.charge_instr(2);
-    ctx.charge_read(2);
-    ctx.charge_write(1);
+    ctx.charge_read(ws.sigma_hat, v);
+    ctx.charge_read(ws.t, v);
+    ctx.charge_write(rows.sigma, v);
     rows.sigma[v] = ws.sigma_hat[v];
     if (case3) {
-      ctx.charge_read(1);
-      ctx.charge_write(1);
+      ctx.charge_read(ws.d_new, v);
+      ctx.charge_write(rows.d, v);
       rows.d[v] = ws.d_new[v];
     }
     if (ws.t[v] == kUntouched) return;
     ++touched;
     if (v != static_cast<std::size_t>(s)) {
-      ctx.charge_read(2);
-      ctx.charge_atomic(BlockContext::make_key(4, v));
+      ctx.charge_read(ws.delta_hat, v);
+      ctx.charge_read(rows.delta, v);
+      ctx.charge_atomic(bc, v);
       util::atomic_add(bc, v, ws.delta_hat[v] - rows.delta[v]);
     }
-    ctx.charge_read(1);
-    ctx.charge_write(1);
+    ctx.charge_read(ws.delta_hat, v);
+    ctx.charge_write(rows.delta, v);
     rows.delta[v] = ws.delta_hat[v];
   });
   return touched;
@@ -127,20 +136,25 @@ void edge_case2(BlockContext& ctx, const CSRGraph& g, VertexId s,
     done = true;
     ctx.parallel_for(num_arcs, [&](std::size_t a) {
       ctx.charge_instr(2);
-      ctx.charge_read(3);  // arc + d[v]
       const auto v = static_cast<std::size_t>(src[a]);
       const auto w = static_cast<std::size_t>(dst[a]);
+      ctx.charge_read(src, a);
+      ctx.charge_read(dst, a);
+      ctx.charge_read(d, v);
       if (d[v] != depth) return;
-      ctx.charge_read(1);
+      ctx.charge_read(d, w);
       if (d[w] != depth + 1) return;
+      // The t[w] touch test stays unaddressed: arcs sharing a head race on
+      // it, benignly - every winner stores the same kDown (paper SIII.A).
       ctx.charge_read(1);
       if (ws.t[w] == kUntouched) {
         ws.t[w] = kDown;  // benign race on hardware (paper §III.A)
         ctx.charge_write(1);
         done = false;
       }
-      ctx.charge_read(2);
-      ctx.charge_atomic(BlockContext::make_key(1, w));
+      ctx.charge_read(ws.sigma_hat, v);
+      ctx.charge_read(rows.sigma, v);
+      ctx.charge_atomic(ws.sigma_hat, w);
       ws.sigma_hat[w] += ws.sigma_hat[v] - rows.sigma[v];
     });
     if (!done) last_touch_depth = depth + 1;
@@ -154,31 +168,38 @@ void edge_case2(BlockContext& ctx, const CSRGraph& g, VertexId s,
   for (Dist dep = last_touch_depth; dep >= 1; --dep) {
     ctx.parallel_for(num_arcs, [&](std::size_t a) {
       ctx.charge_instr(2);
-      ctx.charge_read(3);
       const auto c = static_cast<std::size_t>(src[a]);
       const auto p = static_cast<std::size_t>(dst[a]);
+      ctx.charge_read(src, a);
+      ctx.charge_read(dst, a);
+      ctx.charge_read(d, c);
       if (d[c] != dep) return;
-      ctx.charge_read(1);
+      ctx.charge_read(d, p);
       if (d[p] != dep - 1) return;
-      ctx.charge_read(1);
+      ctx.charge_read(ws.t, c);
       if (ws.t[c] == kUntouched) return;  // c's contribution is unchanged
       double dsv = 0.0;
-      ctx.charge_read(1);
-      ctx.charge_atomic(BlockContext::make_key(3, p));  // atomicCAS on t[p]
+      ctx.charge_read(ws.t, p);
+      ctx.charge_atomic(ws.t, p);  // atomicCAS on t[p]
       if (ws.t[p] == kUntouched) {
-        ws.t[p] = kUp;
-        ctx.charge_read(1);
+        ws.t[p] = kUp;  // the store is part of the CAS, charged above
+        ctx.charge_read(rows.delta, p);
         dsv += rows.delta[p];
       }
-      ctx.charge_read(4);
+      ctx.charge_read(ws.sigma_hat, p);
+      ctx.charge_read(ws.sigma_hat, c);
+      ctx.charge_read(ws.delta_hat, c);
+      ctx.charge_read(ws.t, p);
       dsv += ws.sigma_hat[p] / ws.sigma_hat[c] * (1.0 + ws.delta_hat[c]);
       if (ws.t[p] == kUp &&
           !(p == static_cast<std::size_t>(u_high) &&
             c == static_cast<std::size_t>(u_low))) {
-        ctx.charge_read(3);
+        ctx.charge_read(rows.sigma, p);
+        ctx.charge_read(rows.sigma, c);
+        ctx.charge_read(rows.delta, c);
         dsv -= rows.sigma[p] / rows.sigma[c] * (1.0 + rows.delta[c]);
       }
-      ctx.charge_atomic(BlockContext::make_key(2, p));
+      ctx.charge_atomic(ws.delta_hat, p);
       ws.delta_hat[p] += dsv;
     });
   }
@@ -207,14 +228,21 @@ void node_case2(BlockContext& ctx, const CSRGraph& g, VertexId s,
     ws.q2.clear();
     ctx.parallel_for(ws.q.size(), [&](std::size_t i) {
       const auto v = static_cast<std::size_t>(ws.q[i]);
-      ctx.charge_read(4);  // queue entry, row offset, sigma_hat[v], sigma[v]
+      ctx.charge_read(ws.q, i);
+      ctx.charge_read(1);  // row offset (no span here)
+      ctx.charge_read(ws.sigma_hat, v);
+      ctx.charge_read(rows.sigma, v);
       const Dist dv = d[v];
       const Sigma inc = ws.sigma_hat[v] - rows.sigma[v];
       for (VertexId wv : g.neighbors(static_cast<VertexId>(v))) {
         const auto w = static_cast<std::size_t>(wv);
         ctx.charge_instr(2);
-        ctx.charge_read(2);  // adjacency entry + d[w]
+        ctx.charge_read(1);  // adjacency entry (no span here)
+        ctx.charge_read(d, w);
         if (d[w] != dv + 1) continue;
+        // Unaddressed: the t[w] touch test is the paper's benign
+        // first-parent-wins race (SIII.A), and the Q2 append may
+        // reallocate the queue's storage mid-round.
         ctx.charge_read(1);
         if (ws.t[w] == kUntouched) {
           ws.t[w] = kDown;
@@ -223,7 +251,7 @@ void node_case2(BlockContext& ctx, const CSRGraph& g, VertexId s,
           ctx.charge_write(1);
           ws.q2.push_back(wv);
         }
-        ctx.charge_atomic(BlockContext::make_key(1, w));
+        ctx.charge_atomic(ws.sigma_hat, w);
         ws.sigma_hat[w] += inc;
       }
     });
@@ -232,9 +260,10 @@ void node_case2(BlockContext& ctx, const CSRGraph& g, VertexId s,
         sim::block_remove_duplicates(ctx, ws.q2, ws.q2.size(), ws.scratch,
                                      ws.flags);
     ws.q.assign(ws.q2.begin(), ws.q2.begin() + static_cast<std::ptrdiff_t>(unique));
-    // Transfer to Q and append to QQ (Algorithm 5 lines 25-28).
+    // Transfer to Q and append to QQ (Algorithm 5 lines 25-28). Queue
+    // writes stay unaddressed: the appends may reallocate the storage.
     ctx.parallel_for(unique, [&](std::size_t i) {
-      ctx.charge_read(1);
+      ctx.charge_read(ws.q, i);
       ctx.charge_write(1);
       ctx.charge_atomic_aggregated();  // QQ tail counter
       ctx.charge_write(1);
@@ -261,36 +290,42 @@ void node_case2(BlockContext& ctx, const CSRGraph& g, VertexId s,
     const std::size_t qq_len = ws.qq.size();  // appends go to dep-1
     ctx.parallel_for(qq_len, [&](std::size_t i) {
       const auto w = static_cast<std::size_t>(ws.qq[i]);
-      ctx.charge_read(2);  // queue entry + d[w]
+      // Unaddressed: QQ entry - appends below may reallocate the storage.
+      ctx.charge_read(1);
+      ctx.charge_read(d, w);
       if (d[w] != dep) return;
-      ctx.charge_read(3);
+      ctx.charge_read(ws.delta_hat, w);
+      ctx.charge_read(ws.sigma_hat, w);
+      ctx.charge_read(rows.delta, w);
       const double coeff_new =
           (1.0 + ws.delta_hat[w]) / ws.sigma_hat[w];
       const double coeff_old = (1.0 + rows.delta[w]) / rows.sigma[w];
       for (VertexId xv : g.neighbors(static_cast<VertexId>(w))) {
         const auto x = static_cast<std::size_t>(xv);
         ctx.charge_instr(2);
-        ctx.charge_read(2);
+        ctx.charge_read(1);  // adjacency entry (no span here)
+        ctx.charge_read(d, x);
         if (d[x] + 1 != d[w]) continue;
         double dsv = 0.0;
-        ctx.charge_atomic(BlockContext::make_key(3, x));  // atomicCAS on t[x] (Algorithm 7 line 9)
+        ctx.charge_atomic(ws.t, x);  // atomicCAS on t[x] (Algorithm 7 line 9)
         if (ws.t[x] == kUntouched) {
-          ws.t[x] = kUp;
-          ctx.charge_read(1);
+          ws.t[x] = kUp;  // the store is part of the CAS, charged above
+          ctx.charge_read(rows.delta, x);
           dsv += rows.delta[x];
           ctx.charge_atomic_aggregated();  // QQ tail counter
-          ctx.charge_write(1);
+          ctx.charge_write(1);  // unaddressed: QQ may reallocate
           ws.qq.push_back(xv);
         }
-        ctx.charge_read(2);
+        ctx.charge_read(ws.sigma_hat, x);
+        ctx.charge_read(ws.t, x);
         dsv += ws.sigma_hat[x] * coeff_new;
         if (ws.t[x] == kUp &&
             !(x == static_cast<std::size_t>(u_high) &&
               w == static_cast<std::size_t>(u_low))) {
-          ctx.charge_read(1);
+          ctx.charge_read(rows.sigma, x);
           dsv -= rows.sigma[x] * coeff_old;
         }
-        ctx.charge_atomic(BlockContext::make_key(2, x));
+        ctx.charge_atomic(ws.delta_hat, x);
         ws.delta_hat[x] += dsv;
       }
     });
@@ -329,20 +364,26 @@ void node_case3(BlockContext& ctx, const CSRGraph& g, VertexId s,
     // RESET = moved or sigma changed.
     ctx.parallel_for(ws.q.size(), [&](std::size_t i) {
       const auto w = static_cast<std::size_t>(ws.q[i]);
-      ctx.charge_read(2);
+      ctx.charge_read(ws.q, i);
+      ctx.charge_read(1);  // row offset (no span here)
       Sigma sum = 0.0;
       for (VertexId xv : g.neighbors(static_cast<VertexId>(w))) {
         const auto x = static_cast<std::size_t>(xv);
         ctx.charge_instr(2);
-        ctx.charge_read(2);
+        ctx.charge_read(1);  // adjacency entry (no span here)
+        ctx.charge_read(ws.d_new, x);
         if (ws.d_new[x] == level - 1) {
-          ctx.charge_read(1);
+          // Reads parents one level up; the writes below hit this level
+          // only, so the addressed accesses stay disjoint.
+          ctx.charge_read(ws.sigma_hat, x);
           sum += ws.sigma_hat[x];
         }
       }
       ws.sigma_hat[w] = sum;
-      ctx.charge_read(2);
-      ctx.charge_write(2);
+      ctx.charge_read(ws.moved, w);
+      ctx.charge_read(rows.sigma, w);
+      ctx.charge_write(ws.sigma_hat, w);
+      ctx.charge_write(ws.reset, w);
       ws.reset[w] = (ws.moved[w] != 0 || sum != rows.sigma[w]) ? 1 : 0;
     });
 
@@ -351,8 +392,14 @@ void node_case3(BlockContext& ctx, const CSRGraph& g, VertexId s,
     ws.q2.clear();
     ctx.parallel_for(ws.q.size(), [&](std::size_t i) {
       const auto w = static_cast<std::size_t>(ws.q[i]);
-      ctx.charge_read(2);
+      ctx.charge_read(ws.q, i);
+      ctx.charge_read(ws.reset, w);
       if (ws.reset[w] == 0) return;
+      // The pull accesses below (d_new/t/moved reads and writes) stay
+      // unaddressed: two frontier vertices sharing a far neighbor race on
+      // them, benignly - every winner stores the same pulled level, kDown,
+      // and moved bit (paper SIII.A generalized to the repair pre-pass).
+      // Queue appends may also reallocate their storage mid-round.
       for (VertexId xv : g.neighbors(static_cast<VertexId>(w))) {
         const auto x = static_cast<std::size_t>(xv);
         ctx.charge_instr(2);
@@ -385,9 +432,9 @@ void node_case3(BlockContext& ctx, const CSRGraph& g, VertexId s,
     ws.q.assign(ws.q2.begin(),
                 ws.q2.begin() + static_cast<std::ptrdiff_t>(unique));
     ctx.parallel_for(unique, [&](std::size_t i) {
-      ctx.charge_read(1);
+      ctx.charge_read(ws.q, i);
       ctx.charge_atomic_aggregated();
-      ctx.charge_write(2);
+      ctx.charge_write(2);  // unaddressed: QQ append may reallocate
       ws.qq.push_back(ws.q[i]);
     });
     ++level;
@@ -397,10 +444,11 @@ void node_case3(BlockContext& ctx, const CSRGraph& g, VertexId s,
   // old dependency as the base for differential corrections.
   ctx.parallel_for(ws.qq.size(), [&](std::size_t i) {
     const auto w = static_cast<std::size_t>(ws.qq[i]);
-    ctx.charge_read(2);
+    ctx.charge_read(ws.qq, i);
+    ctx.charge_read(ws.reset, w);
     if (ws.reset[w] == 0) {
-      ctx.charge_read(1);
-      ctx.charge_write(1);
+      ctx.charge_read(rows.delta, w);
+      ctx.charge_write(ws.delta_hat, w);
       ws.delta_hat[w] = rows.delta[w];
     }
   });
@@ -410,31 +458,39 @@ void node_case3(BlockContext& ctx, const CSRGraph& g, VertexId s,
   const std::size_t num_moved = ws.moved_list.size();
   ctx.parallel_for(num_moved, [&](std::size_t i) {
     const auto w = static_cast<std::size_t>(ws.moved_list[i]);
-    ctx.charge_read(2);
+    ctx.charge_read(ws.moved_list, i);
+    ctx.charge_read(d, w);
     const Dist dw_old = d[w];
     if (dw_old == kInfDist) return;  // previously unreachable: no parents
-    ctx.charge_read(2);
+    ctx.charge_read(rows.delta, w);
+    ctx.charge_read(rows.sigma, w);
     const double coeff_old = (1.0 + rows.delta[w]) / rows.sigma[w];
     for (VertexId xv : g.neighbors(static_cast<VertexId>(w))) {
       const auto x = static_cast<std::size_t>(xv);
       ctx.charge_instr(3);
-      ctx.charge_read(3);
+      ctx.charge_read(1);  // adjacency entry (no span here)
+      ctx.charge_read(d, x);
+      ctx.charge_read(ws.d_new, x);
       if (d[x] + 1 != dw_old) continue;            // not an old parent
       if (ws.d_new[x] + 1 == ws.d_new[w]) continue;  // still a parent
-      ctx.charge_atomic(BlockContext::make_key(3, x));  // CAS on t[x]
+      ctx.charge_atomic(ws.t, x);  // CAS on t[x]
       if (ws.t[x] == kUntouched) {
-        ws.t[x] = kUp;
-        ctx.charge_read(1);
+        ws.t[x] = kUp;  // the store is part of the CAS, charged above
+        ctx.charge_read(rows.delta, x);
+        // Unaddressed: this CAS-winner seeding store genuinely races the
+        // concurrent atomic subtractions on delta_hat[x] below on real
+        // hardware - the untracked-access caveat documented in DESIGN.md.
+        // A CUDA port must seed delta_hat before the pre-pass instead.
         ctx.charge_write(1);
         ws.delta_hat[x] = rows.delta[x];
         ctx.charge_atomic_aggregated();
-        ctx.charge_write(1);
+        ctx.charge_write(1);  // unaddressed: QQ append may reallocate
         ws.qq.push_back(xv);
       }
-      ctx.charge_read(1);
+      ctx.charge_read(ws.reset, x);
       if (ws.reset[x] == 0) {
-        ctx.charge_read(1);
-        ctx.charge_atomic(BlockContext::make_key(2, x));
+        ctx.charge_read(rows.sigma, x);
+        ctx.charge_atomic(ws.delta_hat, x);
         ws.delta_hat[x] -= rows.sigma[x] * coeff_old;
       }
     }
@@ -453,9 +509,14 @@ void node_case3(BlockContext& ctx, const CSRGraph& g, VertexId s,
     const std::size_t qq_len = ws.qq.size();
     ctx.parallel_for(qq_len, [&](std::size_t i) {
       const auto w = static_cast<std::size_t>(ws.qq[i]);
-      ctx.charge_read(2);
+      // Unaddressed: QQ entry - appends below may reallocate the storage.
+      ctx.charge_read(1);
+      ctx.charge_read(ws.d_new, w);
       if (ws.d_new[w] != dep) return;
-      ctx.charge_read(4);
+      ctx.charge_read(ws.delta_hat, w);
+      ctx.charge_read(ws.sigma_hat, w);
+      ctx.charge_read(rows.delta, w);
+      ctx.charge_read(rows.sigma, w);
       const double coeff_new = (1.0 + ws.delta_hat[w]) / ws.sigma_hat[w];
       const bool w_had_old = d[w] != kInfDist;
       const double coeff_old =
@@ -463,27 +524,30 @@ void node_case3(BlockContext& ctx, const CSRGraph& g, VertexId s,
       for (VertexId xv : g.neighbors(static_cast<VertexId>(w))) {
         const auto x = static_cast<std::size_t>(xv);
         ctx.charge_instr(2);
-        ctx.charge_read(2);
+        ctx.charge_read(1);  // adjacency entry (no span here)
+        ctx.charge_read(ws.d_new, x);
         if (ws.d_new[x] + 1 != ws.d_new[w]) continue;
-        ctx.charge_atomic(BlockContext::make_key(3, x));  // CAS on t[x]
+        ctx.charge_atomic(ws.t, x);  // CAS on t[x]
         double dsv = 0.0;
         if (ws.t[x] == kUntouched) {
-          ws.t[x] = kUp;
-          ctx.charge_read(1);
+          ws.t[x] = kUp;  // the store is part of the CAS, charged above
+          ctx.charge_read(rows.delta, x);
           dsv += rows.delta[x];
           ctx.charge_atomic_aggregated();
-          ctx.charge_write(1);
+          ctx.charge_write(1);  // unaddressed: QQ may reallocate
           ws.qq.push_back(xv);
         }
-        ctx.charge_read(2);
+        ctx.charge_read(ws.sigma_hat, x);
+        ctx.charge_read(rows.d, x);
         dsv += ws.sigma_hat[x] * coeff_new;
-        ctx.charge_read(2);
+        ctx.charge_read(ws.reset, x);
+        ctx.charge_read(rows.d, w);
         if (ws.reset[x] == 0 && w_had_old && d[x] + 1 == d[w] &&
             !(x == static_cast<std::size_t>(u_high) && w == lo)) {
-          ctx.charge_read(1);
+          ctx.charge_read(rows.sigma, x);
           dsv -= rows.sigma[x] * coeff_old;
         }
-        ctx.charge_atomic(BlockContext::make_key(2, x));
+        ctx.charge_atomic(ws.delta_hat, x);
         ws.delta_hat[x] += dsv;
       }
     });
@@ -520,56 +584,69 @@ void edge_case3(BlockContext& ctx, const CSRGraph& g, VertexId s,
     // E1: zero sigma-hat of touched vertices at this level.
     ctx.parallel_for(n, [&](std::size_t v) {
       ctx.charge_instr(1);
-      ctx.charge_read(2);
+      ctx.charge_read(ws.t, v);
+      ctx.charge_read(ws.d_new, v);
       if (ws.t[v] != kUntouched && ws.d_new[v] == level) {
-        ctx.charge_write(1);
+        ctx.charge_write(ws.sigma_hat, v);
         ws.sigma_hat[v] = 0.0;
       }
     });
     // E2: accumulate sigma from parents over the whole arc list.
     ctx.parallel_for(num_arcs, [&](std::size_t a) {
       ctx.charge_instr(2);
-      ctx.charge_read(4);
       const auto x = static_cast<std::size_t>(src[a]);
       const auto w = static_cast<std::size_t>(dst[a]);
+      ctx.charge_read(src, a);
+      ctx.charge_read(dst, a);
+      ctx.charge_read(ws.t, w);
+      ctx.charge_read(ws.d_new, w);
       if (ws.t[w] == kUntouched || ws.d_new[w] != level) return;
       if (ws.d_new[x] != level - 1) return;
-      ctx.charge_read(1);
-      ctx.charge_atomic(BlockContext::make_key(1, w));
+      ctx.charge_read(ws.sigma_hat, x);
+      ctx.charge_atomic(ws.sigma_hat, w);
       ws.sigma_hat[w] += ws.sigma_hat[x];
     });
     // E3a: classify RESET at this level.
     ctx.parallel_for(n, [&](std::size_t v) {
       ctx.charge_instr(1);
-      ctx.charge_read(2);
+      ctx.charge_read(ws.t, v);
+      ctx.charge_read(ws.d_new, v);
       if (ws.t[v] == kUntouched || ws.d_new[v] != level) return;
-      ctx.charge_read(3);
-      ctx.charge_write(1);
+      ctx.charge_read(ws.moved, v);
+      ctx.charge_read(ws.sigma_hat, v);
+      ctx.charge_read(rows.sigma, v);
+      ctx.charge_write(ws.reset, v);
       ws.reset[v] =
           (ws.moved[v] != 0 || ws.sigma_hat[v] != rows.sigma[v]) ? 1 : 0;
     });
-    // E3b: changed vertices pull/mark neighbors at level+1.
+    // E3b: changed vertices pull/mark neighbors at level+1. The t and
+    // d_new accesses stay unaddressed here: every arc reads t/d_new of its
+    // endpoints while sibling arcs pull shared far neighbors - the benign
+    // same-value races of the repair pre-pass (paper SIII.A generalized);
+    // the moved-list append may also reallocate its storage mid-round.
     ctx.parallel_for(num_arcs, [&](std::size_t a) {
       ctx.charge_instr(2);
-      ctx.charge_read(4);
       const auto w = static_cast<std::size_t>(src[a]);
       const auto x = static_cast<std::size_t>(dst[a]);
+      ctx.charge_read(src, a);
+      ctx.charge_read(dst, a);
+      ctx.charge_read(2);  // t[w] + d_new[w], racing the pulls below
       if (ws.t[w] == kUntouched || ws.d_new[w] != level) return;
-      ctx.charge_read(1);
+      ctx.charge_read(ws.reset, w);
       if (ws.reset[w] == 0) return;
-      ctx.charge_read(1);
+      ctx.charge_read(1);  // d_new[x], racing the pulls below
       const Dist dx = ws.d_new[x];
       if (dx > level + 1) {
-        ctx.charge_write(3);
+        ctx.charge_write(3);  // d_new[x] + t[x] + moved[x], benign race
         ctx.charge_atomic_aggregated();
-        ctx.charge_write(1);
+        ctx.charge_write(1);  // unaddressed: moved-list may reallocate
         ws.d_new[x] = level + 1;
         ws.t[x] = kDown;
         ws.moved[x] = 1;
         ws.moved_list.push_back(dst[a]);
         progress = true;
       } else if (dx == level + 1 && ws.t[x] == kUntouched) {
-        ctx.charge_write(1);
+        ctx.charge_write(1);  // t[x], benign race
         ws.t[x] = kDown;
         progress = true;
       }
@@ -581,10 +658,11 @@ void edge_case3(BlockContext& ctx, const CSRGraph& g, VertexId s,
   // CARRY bases for phase-A touched vertices.
   ctx.parallel_for(n, [&](std::size_t v) {
     ctx.charge_instr(1);
-    ctx.charge_read(2);
+    ctx.charge_read(ws.t, v);
+    ctx.charge_read(ws.reset, v);
     if (ws.t[v] == kDown && ws.reset[v] == 0) {
-      ctx.charge_read(1);
-      ctx.charge_write(1);
+      ctx.charge_read(rows.delta, v);
+      ctx.charge_write(ws.delta_hat, v);
       ws.delta_hat[v] = rows.delta[v];
     }
   });
@@ -592,30 +670,36 @@ void edge_case3(BlockContext& ctx, const CSRGraph& g, VertexId s,
   // Pre-pass over arcs: (w moved, x old-parent no longer parent).
   ctx.parallel_for(num_arcs, [&](std::size_t a) {
     ctx.charge_instr(3);
-    ctx.charge_read(3);
     const auto w = static_cast<std::size_t>(src[a]);
     const auto x = static_cast<std::size_t>(dst[a]);
+    ctx.charge_read(src, a);
+    ctx.charge_read(dst, a);
+    ctx.charge_read(ws.moved, w);
     if (ws.moved[w] == 0) return;
-    ctx.charge_read(2);
+    ctx.charge_read(d, w);
+    ctx.charge_read(d, x);
     const Dist dw_old = d[w];
     if (dw_old == kInfDist) return;
     if (d[x] + 1 != dw_old) return;
-    ctx.charge_read(2);
+    ctx.charge_read(ws.d_new, x);
+    ctx.charge_read(ws.d_new, w);
     if (ws.d_new[x] + 1 == ws.d_new[w]) return;
-    ctx.charge_atomic(BlockContext::make_key(3, x));
+    ctx.charge_atomic(ws.t, x);  // CAS on t[x]
     double dsv = 0.0;
     if (ws.t[x] == kUntouched) {
-      ws.t[x] = kUp;
-      ctx.charge_read(1);
+      ws.t[x] = kUp;  // the store is part of the CAS, charged above
+      ctx.charge_read(rows.delta, x);
       dsv += rows.delta[x];
     }
-    ctx.charge_read(1);
+    ctx.charge_read(ws.reset, x);
     if (ws.reset[x] == 0) {
-      ctx.charge_read(3);
+      ctx.charge_read(rows.sigma, x);
+      ctx.charge_read(rows.sigma, w);
+      ctx.charge_read(rows.delta, w);
       dsv -= rows.sigma[x] / rows.sigma[w] * (1.0 + rows.delta[w]);
     }
     if (dsv != 0.0) {
-      ctx.charge_atomic(BlockContext::make_key(2, x));
+      ctx.charge_atomic(ws.delta_hat, x);
       ws.delta_hat[x] += dsv;
     }
     // Track the deepest level an up-marked parent lives at.
@@ -626,31 +710,40 @@ void edge_case3(BlockContext& ctx, const CSRGraph& g, VertexId s,
   for (Dist dep = max_depth; dep >= 1; --dep) {
     ctx.parallel_for(num_arcs, [&](std::size_t a) {
       ctx.charge_instr(2);
-      ctx.charge_read(3);
       const auto c = static_cast<std::size_t>(src[a]);
       const auto p = static_cast<std::size_t>(dst[a]);
+      ctx.charge_read(src, a);
+      ctx.charge_read(dst, a);
+      ctx.charge_read(ws.d_new, c);
       if (ws.d_new[c] != dep) return;
-      ctx.charge_read(1);
+      ctx.charge_read(ws.t, c);
       if (ws.t[c] == kUntouched) return;
-      ctx.charge_read(1);
+      ctx.charge_read(ws.d_new, p);
       if (ws.d_new[p] + 1 != ws.d_new[c]) return;
-      ctx.charge_atomic(BlockContext::make_key(3, p));
+      ctx.charge_atomic(ws.t, p);  // CAS on t[p]
       double dsv = 0.0;
       if (ws.t[p] == kUntouched) {
-        ws.t[p] = kUp;
-        ctx.charge_read(1);
+        ws.t[p] = kUp;  // the store is part of the CAS, charged above
+        ctx.charge_read(rows.delta, p);
         dsv += rows.delta[p];
       }
-      ctx.charge_read(4);
+      ctx.charge_read(ws.sigma_hat, p);
+      ctx.charge_read(ws.sigma_hat, c);
+      ctx.charge_read(ws.delta_hat, c);
+      ctx.charge_read(d, c);
       dsv += ws.sigma_hat[p] / ws.sigma_hat[c] * (1.0 + ws.delta_hat[c]);
       const bool c_had_old = d[c] != kInfDist;
-      ctx.charge_read(3);
+      ctx.charge_read(ws.reset, p);
+      ctx.charge_read(d, p);
+      ctx.charge_read(d, c);
       if (ws.reset[p] == 0 && c_had_old && d[p] + 1 == d[c] &&
           !(p == static_cast<std::size_t>(u_high) && c == lo)) {
-        ctx.charge_read(3);
+        ctx.charge_read(rows.sigma, p);
+        ctx.charge_read(rows.sigma, c);
+        ctx.charge_read(rows.delta, c);
         dsv -= rows.sigma[p] / rows.sigma[c] * (1.0 + rows.delta[c]);
       }
-      ctx.charge_atomic(BlockContext::make_key(2, p));
+      ctx.charge_atomic(ws.delta_hat, p);
       ws.delta_hat[p] += dsv;
     });
   }
@@ -664,20 +757,23 @@ void removal_prepass(BlockContext& ctx, GpuWorkspace& ws, const Rows& rows,
                      VertexId u_high, VertexId u_low, bool node_mode) {
   const auto hi = static_cast<std::size_t>(u_high);
   const auto lo = static_cast<std::size_t>(u_low);
-  ctx.charge_atomic(BlockContext::make_key(3, hi));  // CAS on t[u_high]
+  ctx.charge_atomic(ws.t, hi);  // CAS on t[u_high]
   if (ws.t[hi] == kUntouched) {
     ws.t[hi] = kUp;
-    ctx.charge_read(1);
-    ctx.charge_write(1);
+    ctx.charge_read(rows.delta, hi);
+    ctx.charge_write(ws.delta_hat, hi);
     ws.delta_hat[hi] = rows.delta[hi];
     if (node_mode) {
       ctx.charge_atomic_aggregated();  // QQ tail counter
-      ctx.charge_write(1);
+      ctx.charge_write(1);  // unaddressed: QQ append may reallocate
       ws.qq.push_back(u_high);
     }
   }
-  ctx.charge_read(4);
-  ctx.charge_atomic(BlockContext::make_key(2, hi));
+  ctx.charge_read(rows.sigma, hi);
+  ctx.charge_read(rows.sigma, lo);
+  ctx.charge_read(rows.delta, lo);
+  ctx.charge_read(ws.delta_hat, hi);
+  ctx.charge_atomic(ws.delta_hat, hi);
   ws.delta_hat[hi] -=
       rows.sigma[hi] / rows.sigma[lo] * (1.0 + rows.delta[lo]);
 }
@@ -696,7 +792,8 @@ SourceUpdateOutcome gpu_insert_source_update(sim::BlockContext& ctx,
                                              std::span<double> bc, VertexId u,
                                              VertexId v) {
   Rows rows{d, sigma, delta};
-  ctx.charge_read(2);
+  ctx.charge_read(rows.d, static_cast<std::size_t>(u));
+  ctx.charge_read(rows.d, static_cast<std::size_t>(v));
   ctx.charge_instr(4);
   const CaseInfo info = classify_insertion(rows.d, u, v);
   SourceUpdateOutcome outcome;
@@ -733,7 +830,8 @@ SourceUpdateOutcome gpu_remove_source_update(
     std::vector<VertexId>& order, std::vector<std::size_t>& level_offsets) {
   Rows rows{d, sigma, delta};
   SourceUpdateOutcome outcome;
-  ctx.charge_read(2);
+  ctx.charge_read(rows.d, static_cast<std::size_t>(u));
+  ctx.charge_read(rows.d, static_cast<std::size_t>(v));
   ctx.charge_instr(4);
   const Dist du = rows.d[static_cast<std::size_t>(u)];
   const Dist dv = rows.d[static_cast<std::size_t>(v)];
@@ -750,9 +848,10 @@ SourceUpdateOutcome gpu_remove_source_update(
 
   // Does u_low keep another parent in the post-removal graph?
   bool has_other_parent = false;
-  ctx.charge_read(1);
+  ctx.charge_read(rows.d, lo);
   for (VertexId x : g.neighbors(u_low)) {
-    ctx.charge_read(2);
+    ctx.charge_read(1);  // adjacency entry (no span here)
+    ctx.charge_read(rows.d, static_cast<std::size_t>(x));
     ctx.charge_instr(1);
     if (rows.d[static_cast<std::size_t>(x)] + 1 == rows.d[lo]) {
       has_other_parent = true;
@@ -791,8 +890,8 @@ void gpu_recompute_source(sim::BlockContext& ctx, GpuWorkspace& ws,
                           std::vector<std::size_t>& level_offsets) {
   const std::size_t n = delta.size();
   ctx.parallel_for(n, [&](std::size_t w) {
-    ctx.charge_read(1);
-    ctx.charge_write(1);
+    ctx.charge_read(delta, w);
+    ctx.charge_write(ws.delta_hat, w);
     ws.delta_hat[w] = delta[w];  // save old dependencies
   });
   if (mode == Parallelism::kEdge) {
@@ -802,10 +901,11 @@ void gpu_recompute_source(sim::BlockContext& ctx, GpuWorkspace& ws,
   }
   ctx.parallel_for(n, [&](std::size_t w) {
     ctx.charge_instr(2);
-    ctx.charge_read(2);
+    ctx.charge_read(delta, w);
+    ctx.charge_read(ws.delta_hat, w);
     if (w == static_cast<std::size_t>(s)) return;
     if (delta[w] != ws.delta_hat[w]) {
-      ctx.charge_atomic(BlockContext::make_key(4, w));
+      ctx.charge_atomic(bc, w);
       util::atomic_add(bc, w, delta[w] - ws.delta_hat[w]);
     }
   });

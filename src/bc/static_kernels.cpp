@@ -15,7 +15,9 @@ void init_source(BlockContext& ctx, std::span<Dist> d, std::span<Sigma> sigma,
                  std::span<double> delta, VertexId s) {
   ctx.parallel_for(d.size(), [&](std::size_t v) {
     ctx.charge_instr(1);
-    ctx.charge_write(3);
+    ctx.charge_write(d, v);
+    ctx.charge_write(sigma, v);
+    ctx.charge_write(delta, v);
     d[v] = kInfDist;
     sigma[v] = 0.0;
     delta[v] = 0.0;
@@ -32,10 +34,10 @@ void accumulate_bc(BlockContext& ctx, std::span<const Dist> d,
   if (bc.empty()) return;  // caller handles BC (removal fallback)
   ctx.parallel_for(d.size(), [&](std::size_t v) {
     ctx.charge_instr(2);
-    ctx.charge_read(1);
+    ctx.charge_read(d, v);
     if (v == static_cast<std::size_t>(s) || d[v] == kInfDist) return;
-    ctx.charge_read(1);
-    ctx.charge_atomic(BlockContext::make_key(4, v));
+    ctx.charge_read(delta, v);
+    ctx.charge_atomic(bc, v);
     util::atomic_add(bc, v, delta[v]);
   });
 }
@@ -58,9 +60,15 @@ void static_source_edge(sim::BlockContext& ctx, const CSRGraph& g, VertexId s,
     done = true;
     ctx.parallel_for(num_arcs, [&](std::size_t a) {
       ctx.charge_instr(2);
-      ctx.charge_read(2);  // arc endpoints
+      ctx.charge_read(src, a);
+      ctx.charge_read(dst, a);
       const auto x = static_cast<std::size_t>(src[a]);
       const auto w = static_cast<std::size_t>(dst[a]);
+      // The d[] accesses of the relaxation round stay unaddressed: arcs
+      // sharing a head may read d[w] = inf while a sibling writes depth+1,
+      // the classic benign race of level-synchronous BFS (paper SIII.A -
+      // every racing write stores the same value). A hardware port keeps
+      // the race; the detector is told nothing so it stays quiet here.
       ctx.charge_read(1);
       if (d[x] != depth) return;
       ctx.charge_read(1);
@@ -70,8 +78,9 @@ void static_source_edge(sim::BlockContext& ctx, const CSRGraph& g, VertexId s,
         done = false;
       }
       if (d[w] == depth + 1) {
-        ctx.charge_read(2);
-        ctx.charge_atomic(BlockContext::make_key(1, w));
+        ctx.charge_read(sigma, w);
+        ctx.charge_read(sigma, x);
+        ctx.charge_atomic(sigma, w);
         sigma[w] += sigma[x];
       }
     });
@@ -82,15 +91,19 @@ void static_source_edge(sim::BlockContext& ctx, const CSRGraph& g, VertexId s,
   for (Dist dep = max_depth; dep >= 1; --dep) {
     ctx.parallel_for(num_arcs, [&](std::size_t a) {
       ctx.charge_instr(2);
-      ctx.charge_read(2);
+      ctx.charge_read(src, a);
+      ctx.charge_read(dst, a);
       const auto c = static_cast<std::size_t>(src[a]);
       const auto p = static_cast<std::size_t>(dst[a]);
-      ctx.charge_read(1);
+      ctx.charge_read(d, c);
       if (d[c] != dep) return;
-      ctx.charge_read(1);
+      ctx.charge_read(d, p);
       if (d[p] != dep - 1) return;
-      ctx.charge_read(4);
-      ctx.charge_atomic(BlockContext::make_key(2, p));
+      ctx.charge_read(sigma, p);
+      ctx.charge_read(sigma, c);
+      ctx.charge_read(delta, c);
+      ctx.charge_read(delta, p);
+      ctx.charge_atomic(delta, p);
       delta[p] += sigma[p] / sigma[c] * (1.0 + delta[c]);
     });
   }
@@ -123,21 +136,26 @@ void static_source_node(sim::BlockContext& ctx, const CSRGraph& g, VertexId s,
     level_offsets.push_back(level_end);
     ctx.parallel_for(level_end - level_begin, [&](std::size_t i) {
       const auto v = static_cast<std::size_t>(order[level_begin + i]);
-      ctx.charge_read(2);  // queue entry + row offset
+      // Unaddressed: the queue entry lives in `order`, which push_back may
+      // reallocate mid-round, and the row offset has no span here.
+      ctx.charge_read(2);
       for (VertexId wv : g.neighbors(static_cast<VertexId>(v))) {
         const auto w = static_cast<std::size_t>(wv);
         ctx.charge_instr(2);
-        ctx.charge_read(2);  // adjacency entry + d[w]
+        // Unaddressed: adjacency entry, plus the d[w] touch of the benign
+        // BFS discovery race (paper SIII.A) - see static_source_edge.
+        ctx.charge_read(2);
         if (d[w] == kInfDist) {
           d[w] = depth + 1;
           ctx.charge_write(1);
           ctx.charge_atomic_aggregated();  // queue-tail counter
-          ctx.charge_write(1);
+          ctx.charge_write(1);  // unaddressed: order may reallocate
           order.push_back(wv);
         }
         if (d[w] == depth + 1) {
-          ctx.charge_read(2);
-          ctx.charge_atomic(BlockContext::make_key(1, w));
+          ctx.charge_read(sigma, w);
+          ctx.charge_read(sigma, v);
+          ctx.charge_atomic(sigma, w);
           sigma[w] += sigma[v];
         }
       }
@@ -154,15 +172,20 @@ void static_source_node(sim::BlockContext& ctx, const CSRGraph& g, VertexId s,
     const std::size_t end = level_offsets[lev + 1];
     ctx.parallel_for(end - begin, [&](std::size_t i) {
       const auto w = static_cast<std::size_t>(order[begin + i]);
-      ctx.charge_read(4);
+      ctx.charge_read(order, begin + i);
+      ctx.charge_read(1);  // row offset
+      ctx.charge_read(delta, w);
+      ctx.charge_read(sigma, w);
       const double coeff = (1.0 + delta[w]) / sigma[w];
       for (VertexId xv : g.neighbors(static_cast<VertexId>(w))) {
         const auto x = static_cast<std::size_t>(xv);
         ctx.charge_instr(2);
-        ctx.charge_read(2);
+        ctx.charge_read(1);  // adjacency entry
+        ctx.charge_read(d, x);
         if (d[x] + 1 != d[w]) continue;
-        ctx.charge_read(2);
-        ctx.charge_atomic(BlockContext::make_key(2, x));
+        ctx.charge_read(sigma, x);
+        ctx.charge_read(delta, x);
+        ctx.charge_atomic(delta, x);
         delta[x] += sigma[x] * coeff;
       }
     });

@@ -21,6 +21,17 @@ int next_trace_pid() {
 
 }  // namespace
 
+// Folds the blocks' shadow journals into the process hazard detector. Runs
+// after the launch's stats/metrics/trace are recorded, so a strict-mode
+// HazardError never loses the evidence it reports.
+void collect_hazards(std::string_view name,
+                     const std::vector<BlockContext>& contexts) {
+  std::vector<const BlockHazardState*> states;
+  states.reserve(contexts.size());
+  for (const auto& ctx : contexts) states.push_back(ctx.hazard_state());
+  hazards().collect(name.empty() ? "kernel" : name, states);
+}
+
 Device::Device(DeviceSpec spec, CostModel cost, int host_workers,
                bool track_atomic_conflicts)
     : spec_(std::move(spec)),
@@ -89,8 +100,10 @@ KernelStats Device::finish_launch(std::string_view name, std::string_view cat,
   }
   LaunchTimeline timeline =
       schedule_blocks(block_cycles, spec_.num_sms, dispatch_cycles);
-  return record_scheduled_launch(name, cat, num_blocks, counters,
-                                 std::move(timeline), setup_cycles);
+  KernelStats stats = record_scheduled_launch(name, cat, num_blocks, counters,
+                                              std::move(timeline), setup_cycles);
+  collect_hazards(name, contexts);
+  return stats;
 }
 
 KernelStats Device::record_scheduled_launch(

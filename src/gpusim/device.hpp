@@ -138,4 +138,10 @@ double schedule_makespan(const std::vector<double>& block_cycles, int num_sms,
 LaunchTimeline schedule_blocks(const std::vector<double>& block_cycles,
                                int num_sms, double dispatch_cycles);
 
+/// Folds the blocks' shadow journals into sim::hazards() under `name`.
+/// Called by Device and DeviceGroup after each launch is recorded; throws
+/// HazardError in strict mode when the launch added violations.
+void collect_hazards(std::string_view name,
+                     const std::vector<BlockContext>& contexts);
+
 }  // namespace bcdyn::sim

@@ -254,6 +254,9 @@ GroupLaunchResult DeviceGroup::launch_sharded(
     per_job->reserve(contexts.size());
     for (const auto& ctx : contexts) per_job->push_back(ctx.counters());
   }
+  // After stats/metrics (and per_job) are recorded, so strict mode loses
+  // nothing when it throws.
+  collect_hazards(name, contexts);
   return result;
 }
 

@@ -31,11 +31,13 @@ void block_bitonic_sort(BlockContext& ctx, std::vector<VertexId>& values,
         const std::size_t i = 2 * t - (t & (j - 1));
         const std::size_t partner = i ^ j;
         ctx.charge_instr(4);
-        ctx.charge_read(2);
+        ctx.charge_read(values, i);
+        ctx.charge_read(values, partner);
         const bool ascending = (i & k) == 0;
         if ((values[i] > values[partner]) == ascending) {
           std::swap(values[i], values[partner]);
-          ctx.charge_write(2);
+          ctx.charge_write(values, i);
+          ctx.charge_write(values, partner);
         }
       });
     }
@@ -56,8 +58,9 @@ std::uint32_t block_exclusive_scan(BlockContext& ctx,
       const std::size_t hi = (t + 1) * 2 * stride - 1;
       const std::size_t lo = hi - stride;
       ctx.charge_instr(3);
-      ctx.charge_read(2);
-      ctx.charge_write(1);
+      ctx.charge_read(values, lo);
+      ctx.charge_read(values, hi);
+      ctx.charge_write(values, hi);
       values[hi] += values[lo];
     });
   }
@@ -69,8 +72,10 @@ std::uint32_t block_exclusive_scan(BlockContext& ctx,
       const std::size_t hi = (t + 1) * 2 * stride - 1;
       const std::size_t lo = hi - stride;
       ctx.charge_instr(3);
-      ctx.charge_read(2);
-      ctx.charge_write(2);
+      ctx.charge_read(values, lo);
+      ctx.charge_read(values, hi);
+      ctx.charge_write(values, lo);
+      ctx.charge_write(values, hi);
       const std::uint32_t tmp = values[lo];
       values[lo] = values[hi];
       values[hi] += tmp;
@@ -94,9 +99,10 @@ std::size_t block_remove_duplicates(BlockContext& ctx,
   if (flags.size() < len) flags.resize(len);
   ctx.parallel_for(len, [&](std::size_t i) {
     ctx.charge_instr(2);
-    ctx.charge_read(i == 0 ? 1 : 2);
+    ctx.charge_read(queue, i);
+    if (i != 0) ctx.charge_read(queue, i - 1);
     flags[i] = (i == 0 || queue[i] != queue[i - 1]) ? 1u : 0u;
-    ctx.charge_write(1);
+    ctx.charge_write(flags, i);
   });
 
   // 3) Exclusive scan of the flags gives each unique element's output slot.
@@ -107,10 +113,11 @@ std::size_t block_remove_duplicates(BlockContext& ctx,
   // 4) Scatter unique elements to their slots.
   ctx.parallel_for(len, [&](std::size_t i) {
     ctx.charge_instr(2);
-    ctx.charge_read(2);
+    ctx.charge_read(flags, i);
+    ctx.charge_read(slots, i);
     if (flags[i]) {
       scratch[slots[i]] = queue[i];
-      ctx.charge_write(1);
+      ctx.charge_write(scratch, slots[i]);
     }
   });
   std::copy(scratch.begin(), scratch.begin() + unique, queue.begin());
@@ -128,6 +135,8 @@ Dist block_reduce_max(BlockContext& ctx, const std::vector<Dist>& values,
     width >>= 1;
     ctx.parallel_for(width, [&](std::size_t) {
       ctx.charge_instr(2);
+      // Unaddressed: these model the shared-memory tree a CUDA reduction
+      // runs, which has no counterpart array in this host implementation.
       ctx.charge_read(2);
       ctx.charge_write(1);
     });

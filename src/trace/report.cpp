@@ -206,6 +206,44 @@ void write_report(const std::vector<TraceEvent>& events,
     }
   }
 
+  // --- hazard detection (opt-in shadow-memory pass) ------------------
+  // Only rendered when the detector ran: with it off no sim.hazard.*
+  // counter exists and the report is byte-identical to a plain run.
+  const std::uint64_t hazard_launches =
+      registry.counter_value("sim.hazard.launches");
+  if (hazard_launches > 0) {
+    out << "\n== hazard detection ==\n";
+    out << "  " << hazard_launches << " launches checked, "
+        << registry.counter_value("sim.hazard.tracked") << " tracked / "
+        << registry.counter_value("sim.hazard.untracked")
+        << " untracked accesses\n";
+    const std::uint64_t violations =
+        registry.counter_value("sim.hazard.violations");
+    if (violations == 0) {
+      out << "  no data hazards detected\n";
+    } else {
+      out << "  " << violations << " same-round data hazards by kernel:\n";
+      std::vector<std::pair<std::string, std::uint64_t>> by_kernel;
+      const std::string hz_prefix = "sim.hazard.violations.";
+      for (const auto& [name, value] : counters) {
+        if (name.size() > hz_prefix.size() &&
+            name.compare(0, hz_prefix.size(), hz_prefix) == 0 && value > 0) {
+          by_kernel.emplace_back(name.substr(hz_prefix.size()), value);
+        }
+      }
+      std::stable_sort(by_kernel.begin(), by_kernel.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second > b.second;
+                       });
+      for (const auto& [name, value] : by_kernel) {
+        char line[160];
+        std::snprintf(line, sizeof(line), "  %-24s %12llu hazards\n",
+                      name.c_str(), static_cast<unsigned long long>(value));
+        out << line;
+      }
+    }
+  }
+
   // --- frontier sizes (only populated in traced runs) ----------------
   const auto frontier = registry.histogram("bc.frontier_size");
   if (frontier.count > 0) {

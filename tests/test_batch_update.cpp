@@ -21,7 +21,7 @@ namespace {
 std::vector<std::pair<VertexId, VertexId>> random_batch(const CSRGraph& g,
                                                         int k,
                                                         std::uint64_t seed) {
-  util::Rng rng(seed);
+  BCDYN_SEEDED_RNG(rng, seed);
   std::vector<std::pair<VertexId, VertexId>> edges;
   CSRGraph cur = g;
   for (int i = 0; i < k; ++i) {

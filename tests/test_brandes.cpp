@@ -63,7 +63,7 @@ TEST(Brandes, MatchesBruteForceDisconnected) {
   // Two G(20, .2) components glued into one vertex set, no cross edges.
   COOGraph coo;
   coo.num_vertices = 40;
-  util::Rng rng(99);
+  BCDYN_SEEDED_RNG(rng, 99);
   for (VertexId u = 0; u < 20; ++u) {
     for (VertexId v = u + 1; v < 20; ++v) {
       if (rng.next_bool(0.2)) {

@@ -21,7 +21,7 @@ TEST_P(CpuParallelWorkers, InsertionStreamMatchesStaticRecompute) {
   DynamicCpuParallelEngine engine(60, workers);
   EXPECT_EQ(engine.num_workers(), workers);
 
-  util::Rng rng(31);
+  BCDYN_SEEDED_RNG(rng, 31);
   for (int step = 0; step < 8; ++step) {
     const auto [u, v] = test::random_absent_edge(g, rng);
     g = g.with_edge(u, v);
@@ -50,7 +50,7 @@ TEST_P(CpuParallelWorkers, MixedStreamWithRemovals) {
   brandes_all(g, store);
   DynamicCpuParallelEngine engine(g.num_vertices(), workers);
 
-  util::Rng rng(71);
+  BCDYN_SEEDED_RNG(rng, 71);
   std::vector<std::pair<VertexId, VertexId>> added;
   for (int op = 0; op < 14; ++op) {
     if (rng.next_bool(0.65) || added.empty()) {
@@ -79,7 +79,7 @@ TEST(CpuParallel, CountersAggregateAcrossLanes) {
   BcStore store(40, cfg);
   brandes_all(g, store);
   DynamicCpuParallelEngine engine(40, 4);
-  util::Rng rng(2);
+  BCDYN_SEEDED_RNG(rng, 2);
   const auto [u, v] = test::random_absent_edge(g, rng);
   g = g.with_edge(u, v);
   engine.insert_edge_update(g, store, u, v);
@@ -98,7 +98,7 @@ TEST(CpuParallel, OutcomesMatchSequentialEngine) {
   DynamicCpuParallelEngine par(50, 3);
   DynamicCpuEngine seq(50);
 
-  util::Rng rng(9);
+  BCDYN_SEEDED_RNG(rng, 9);
   const auto [u, v] = test::random_absent_edge(g, rng);
   g = g.with_edge(u, v);
   const auto outcomes = par.insert_edge_update(g, store_par, u, v);

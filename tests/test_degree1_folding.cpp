@@ -40,7 +40,7 @@ TEST(Degree1Folding, PathFoldsCompletely) {
 TEST(Degree1Folding, RandomTrees) {
   // Random recursive trees: everything folds, all accounting is closed-form.
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    util::Rng rng(seed);
+    BCDYN_SEEDED_RNG(rng, seed);
     COOGraph coo;
     coo.num_vertices = 40;
     for (VertexId v = 1; v < 40; ++v) {

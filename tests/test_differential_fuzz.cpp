@@ -77,6 +77,11 @@ void expect_store_matches(const BcStore& got, const BcStore& want,
 class DifferentialFuzz : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(DifferentialFuzz, AllPathsMatchFreshRecomputeAfterEveryStep) {
+  // The whole randomized stream runs under the strict shadow-memory hazard
+  // detector: any same-round data race inside a GPU-engine kernel throws
+  // HazardError and fails the test at the offending step, on top of the
+  // numeric differential checks below.
+  test::HazardScope hazard_scope(/*strict=*/true);
   const std::string gen_name = GetParam();
   const auto entry = gen::build_suite_graph(gen_name, kScale, 977);
   CSRGraph g = entry.graph;
@@ -104,7 +109,7 @@ TEST_P(DifferentialFuzz, AllPathsMatchFreshRecomputeAfterEveryStep) {
   // exercises both the incremental path and the recompute fallback.
   int flushes = 0;
 
-  util::Rng rng(978 + std::hash<std::string>{}(gen_name) % 1000);
+  BCDYN_SEEDED_RNG(rng, 978 + std::hash<std::string>{}(gen_name) % 1000);
   for (int step = 0; step < kSteps; ++step) {
     const auto [u, v] = test::random_absent_edge(g, rng);
     if (u == kNoVertex) break;
@@ -150,6 +155,10 @@ TEST_P(DifferentialFuzz, AllPathsMatchFreshRecomputeAfterEveryStep) {
     }
   }
   EXPECT_GT(flushes, 0);
+  EXPECT_EQ(sim::hazards().violations(), 0u)
+      << "GPU engines flagged data hazards during the fuzz stream";
+  EXPECT_GT(sim::hazards().tracked_accesses(), 0u)
+      << "hazard detector saw no addressed accesses - kernels not converted?";
 }
 
 INSTANTIATE_TEST_SUITE_P(Suite, DifferentialFuzz,

@@ -18,7 +18,7 @@ TEST(DynamicBcApi, ComputeThenInsertMatchesStatic) {
   analytic.compute();
   EXPECT_TRUE(analytic.computed());
 
-  util::Rng rng(91);
+  BCDYN_SEEDED_RNG(rng, 91);
   for (int step = 0; step < 5; ++step) {
     const auto [u, v] = test::random_absent_edge(analytic.graph(), rng);
     const auto outcome = analytic.insert_edge(u, v);
@@ -56,7 +56,7 @@ TEST(DynamicBcApi, AllThreeEnginesAgree) {
                               .approx = {.num_sources = 10, .seed = 3}}));
     analytics.back()->compute();
   }
-  util::Rng rng(77);
+  BCDYN_SEEDED_RNG(rng, 77);
   for (int step = 0; step < 6; ++step) {
     const auto [u, v] = test::random_absent_edge(analytics[0]->graph(), rng);
     for (auto& a : analytics) {
@@ -100,7 +100,7 @@ TEST(DynamicBcApi, CaseCountsMatchFigure2Semantics) {
   const auto g = gen::small_world(200, 4, 0.1, 7);
   DynamicBc analytic(g, {.approx = {.num_sources = 32, .seed = 5}});
   analytic.compute();
-  util::Rng rng(3);
+  BCDYN_SEEDED_RNG(rng, 3);
   const auto [u, v] = test::random_absent_edge(analytic.graph(), rng);
   const auto outcome = analytic.insert_edge(u, v);
   EXPECT_EQ(outcome.case1 + outcome.case2 + outcome.case3, 32);
@@ -176,7 +176,7 @@ TEST(DynamicBcApi, DeprecatedAliasesAndCtorStillWork) {
   modern.compute();
   EXPECT_EQ(legacy.engine(), EngineKind::kGpuEdge);
   EXPECT_EQ(legacy.num_devices(), 1);
-  util::Rng rng(5);
+  BCDYN_SEEDED_RNG(rng, 5);
   const auto [u, v] = test::random_absent_edge(legacy.graph(), rng);
   EXPECT_TRUE(legacy.insert_edge(u, v).inserted);
   EXPECT_TRUE(modern.insert_edge(u, v).inserted);

@@ -24,7 +24,7 @@ void check_insertion_stream(CSRGraph g, const ApproxConfig& cfg, int steps,
   BcStore store(n, cfg);
   brandes_all(g, store);
   DynamicCpuEngine engine(n);
-  util::Rng rng(seed);
+  BCDYN_SEEDED_RNG(rng, seed);
 
   int performed = 0;
   for (int step = 0; step < steps; ++step) {
@@ -191,7 +191,7 @@ TEST(DynamicCpu, TouchedCountBoundedByN) {
   BcStore store(300, cfg);
   brandes_all(g, store);
   DynamicCpuEngine engine(300);
-  util::Rng rng(77);
+  BCDYN_SEEDED_RNG(rng, 77);
   for (int step = 0; step < 5; ++step) {
     const auto [u, v] = test::random_absent_edge(g, rng);
     g = g.with_edge(u, v);
@@ -214,7 +214,7 @@ TEST(DynamicCpu, CountersIncreaseMonotonically) {
   BcStore store(40, cfg);
   brandes_all(g, store);
   DynamicCpuEngine engine(40);
-  util::Rng rng(13);
+  BCDYN_SEEDED_RNG(rng, 13);
   std::uint64_t last = 0;
   for (int step = 0; step < 3; ++step) {
     const auto [u, v] = test::random_absent_edge(g, rng);

@@ -19,7 +19,7 @@ void check_gpu_stream(CSRGraph g, const ApproxConfig& cfg, Parallelism mode,
   BcStore store(n, cfg);
   brandes_all(g, store);
   DynamicGpuBc engine(sim::DeviceSpec::tesla_c2075(), mode);
-  util::Rng rng(seed);
+  BCDYN_SEEDED_RNG(rng, seed);
 
   for (int step = 0; step < steps; ++step) {
     const auto [u, v] = test::random_absent_edge(g, rng);
@@ -90,7 +90,7 @@ TEST(DynamicGpu, EdgeAndNodeAgreeOnLongStream) {
   brandes_all(gn, store_n);
   DynamicGpuBc edge(sim::DeviceSpec::tesla_c2075(), Parallelism::kEdge);
   DynamicGpuBc node(sim::DeviceSpec::tesla_c2075(), Parallelism::kNode);
-  util::Rng rng(500);
+  BCDYN_SEEDED_RNG(rng, 500);
   for (int step = 0; step < 15; ++step) {
     const auto [u, v] = test::random_absent_edge(ge, rng);
     if (u == kNoVertex) break;
@@ -163,7 +163,7 @@ TEST(DynamicGpu, NodeTouchedSetIsTight) {
   brandes_all(g, store_n);
   DynamicGpuBc edge(sim::DeviceSpec::tesla_c2075(), Parallelism::kEdge);
   DynamicGpuBc node(sim::DeviceSpec::tesla_c2075(), Parallelism::kNode);
-  util::Rng rng(42);
+  BCDYN_SEEDED_RNG(rng, 42);
   for (int step = 0; step < 4; ++step) {
     const auto [u, v] = test::random_absent_edge(g, rng);
     g = g.with_edge(u, v);
@@ -187,7 +187,7 @@ TEST(DynamicGpu, ModeledTimeNodeBeatsEdgeOnSparseGraph) {
   brandes_all(g, store_n);
   DynamicGpuBc edge(sim::DeviceSpec::tesla_c2075(), Parallelism::kEdge);
   DynamicGpuBc node(sim::DeviceSpec::tesla_c2075(), Parallelism::kNode);
-  util::Rng rng(23);
+  BCDYN_SEEDED_RNG(rng, 23);
   double te = 0.0;
   double tn = 0.0;
   for (int step = 0; step < 3; ++step) {

@@ -90,7 +90,7 @@ TEST(DynamicGraph, ArcIterationVisitsEachDirectedArcOnce) {
 }
 
 TEST(DynamicGraph, RandomizedDifferentialAgainstSet) {
-  util::Rng rng(2024);
+  BCDYN_SEEDED_RNG(rng, 2024);
   const VertexId n = 50;
   DynamicGraph g(n);
   std::set<std::pair<VertexId, VertexId>> ref;

@@ -21,7 +21,7 @@ TEST(EngineRobustness, WorkspaceReuseAcrossGraphSizes) {
     ApproxConfig cfg{.num_sources = 0, .seed = 1};
     BcStore store(n, cfg);
     brandes_all(g, store);
-    util::Rng rng(static_cast<std::uint64_t>(n) * 3);
+    BCDYN_SEEDED_RNG(rng, static_cast<std::uint64_t>(n) * 3);
     for (int step = 0; step < 3; ++step) {
       const auto [u, v] = test::random_absent_edge(g, rng);
       if (u == kNoVertex) break;
@@ -42,7 +42,7 @@ TEST(EngineRobustness, ModeledTimeIsDeterministic) {
     BcStore store(g.num_vertices(), cfg);
     brandes_all(g, store);
     DynamicGpuBc engine(sim::DeviceSpec::tesla_c2075(), Parallelism::kNode);
-    util::Rng rng(5);
+    BCDYN_SEEDED_RNG(rng, 5);
     std::vector<double> seconds;
     std::vector<std::uint64_t> reads;
     for (int step = 0; step < 5; ++step) {
@@ -98,7 +98,7 @@ TEST(EngineRobustness, FoldedAndDynamicAgreeOnEvolvingGraph) {
   BcStore store(50, cfg);
   brandes_all(g, store);
   DynamicGpuBc engine(sim::DeviceSpec::tesla_c2075(), Parallelism::kNode);
-  util::Rng rng(17);
+  BCDYN_SEEDED_RNG(rng, 17);
   for (int step = 0; step < 6; ++step) {
     const auto [u, v] = test::random_absent_edge(g, rng);
     g = g.with_edge(u, v);

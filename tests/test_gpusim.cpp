@@ -39,6 +39,13 @@ TEST(BlockContext, EmptyLoopStillCostsARoundAndBarrier) {
   ctx.parallel_for(0, [&](std::size_t) { FAIL() << "must not run"; });
   EXPECT_EQ(ctx.counters().rounds, 1u);
   EXPECT_EQ(ctx.counters().items, 0u);
+  EXPECT_EQ(ctx.counters().barriers, 1u);
+  // The exact cost of an empty launch, pinned deliberately: every thread
+  // still issues the zero-trip bounds check of its grid-stride loop (one
+  // round of issue overhead) and joins the trailing __syncthreads(). An
+  // empty launch is not free on hardware either - this is intended
+  // behaviour, not an accounting bug.
+  EXPECT_DOUBLE_EQ(ctx.cycles(), cm.round_issue_cycles + cm.barrier_cycles);
 }
 
 TEST(BlockContext, RoundCostIsMaxOfItemCosts) {

@@ -4,15 +4,52 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "graph/coo.hpp"
 #include "graph/csr_graph.hpp"
+#include "gpusim/hazard_detector.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
+/// Seeded RNG for randomized tests: declares `name` and attaches a gtest
+/// trace, so any assertion that fails while the RNG is in scope reports the
+/// seed - the one fact needed to replay a randomized failure.
+#define BCDYN_SEEDED_RNG(name, ...)                                    \
+  const std::uint64_t name##_seed_ = (__VA_ARGS__);                    \
+  const ::testing::ScopedTrace name##_trace_(                          \
+      __FILE__, __LINE__,                                              \
+      ::testing::Message() << "rng seed = " << name##_seed_);          \
+  ::bcdyn::util::Rng name(name##_seed_)
+
 namespace bcdyn::test {
+
+/// RAII: turns the process-wide shadow-memory hazard detector on for a
+/// scope (optionally strict, where any flagged race throws HazardError),
+/// then restores the previous flags. Captured state is cleared on entry so
+/// violation counts read inside the scope belong to this scope.
+class HazardScope {
+ public:
+  explicit HazardScope(bool strict = false)
+      : was_enabled_(sim::hazards().enabled()),
+        was_strict_(sim::hazards().strict()) {
+    sim::hazards().clear();
+    sim::hazards().set_enabled(true);
+    sim::hazards().set_strict(strict);
+  }
+  HazardScope(const HazardScope&) = delete;
+  HazardScope& operator=(const HazardScope&) = delete;
+  ~HazardScope() {
+    sim::hazards().set_enabled(was_enabled_);
+    sim::hazards().set_strict(was_strict_);
+  }
+
+ private:
+  bool was_enabled_;
+  bool was_strict_;
+};
 
 inline CSRGraph path_graph(VertexId n) {
   COOGraph coo;

@@ -20,7 +20,7 @@ TEST(Integration, LongMixedInsertRemoveStream) {
                          .approx = {.num_sources = 16, .seed = 1}});
   analytic.compute();
 
-  util::Rng rng(55);
+  BCDYN_SEEDED_RNG(rng, 55);
   int inserts = 0;
   int removes = 0;
   std::vector<std::pair<VertexId, VertexId>> inserted_edges;
@@ -50,7 +50,7 @@ TEST(Integration, BatchInsertAggregatesOutcomes) {
   DynamicBc analytic(g, {.approx = {.num_sources = 12, .seed = 2}});
   analytic.compute();
 
-  util::Rng rng(8);
+  BCDYN_SEEDED_RNG(rng, 8);
   std::vector<std::pair<VertexId, VertexId>> batch;
   CSRGraph probe = g;
   while (batch.size() < 5) {
@@ -80,7 +80,7 @@ TEST(Integration, ResultsIndependentOfSmCount) {
       BcStore store(g.num_vertices(), cfg);
       brandes_all(g, store);
       DynamicGpuBc engine(spec, mode);
-      util::Rng rng(4);
+      BCDYN_SEEDED_RNG(rng, 4);
       for (int step = 0; step < 6; ++step) {
         const auto [u, v] = test::random_absent_edge(g, rng);
         g = g.with_edge(u, v);
@@ -107,7 +107,7 @@ TEST(Integration, HostWorkerPoolMatchesInlineExecution) {
     brandes_all(g, store);
     DynamicGpuBc engine(sim::DeviceSpec::tesla_c2075(), Parallelism::kNode,
                         sim::CostModel{}, workers);
-    util::Rng rng(2);
+    BCDYN_SEEDED_RNG(rng, 2);
     for (int step = 0; step < 8; ++step) {
       const auto [u, v] = test::random_absent_edge(g, rng);
       g = g.with_edge(u, v);

@@ -67,7 +67,7 @@ TEST(ParallelismParity, IdenticalOnConnectedUpdateStream) {
   DynamicGpuBc edge_engine(sim::DeviceSpec::tesla_c2075(), Parallelism::kEdge);
   DynamicGpuBc node_engine(sim::DeviceSpec::tesla_c2075(), Parallelism::kNode);
 
-  util::Rng rng(812);
+  BCDYN_SEEDED_RNG(rng, 812);
   for (int step = 0; step < 20; ++step) {
     const auto [u, v] = test::random_absent_edge(g, rng);
     ASSERT_NE(u, kNoVertex);

@@ -7,6 +7,7 @@
 
 #include "gpusim/block_context.hpp"
 #include "gpusim/primitives.hpp"
+#include "test_helpers.hpp"
 #include "util/rng.hpp"
 
 namespace bcdyn::sim {
@@ -33,7 +34,7 @@ TEST_P(BitonicSortSizes, SortsRandomInput) {
   static DeviceSpec sp = spec();
   static CostModel cm;
   BlockContext ctx(sp, cm, 0);
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 7);
+  BCDYN_SEEDED_RNG(rng, static_cast<std::uint64_t>(GetParam()) + 7);
   std::vector<VertexId> values(static_cast<std::size_t>(GetParam()));
   for (auto& v : values) {
     v = static_cast<VertexId>(rng.next_below(1000));
@@ -67,7 +68,7 @@ TEST_P(ScanSizes, ExclusiveScanMatchesSequential) {
   static DeviceSpec sp = spec();
   static CostModel cm;
   BlockContext ctx(sp, cm, 0);
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 1);
+  BCDYN_SEEDED_RNG(rng, static_cast<std::uint64_t>(GetParam()) * 31 + 1);
   const auto n = static_cast<std::size_t>(GetParam());
   std::vector<std::uint32_t> values(n);
   for (auto& v : values) v = static_cast<std::uint32_t>(rng.next_below(10));
@@ -120,7 +121,7 @@ TEST(RemoveDuplicates, AllSameAndAllDistinct) {
 
 TEST(RemoveDuplicates, RandomAgainstStdUnique) {
   auto ctx = make_ctx();
-  util::Rng rng(404);
+  BCDYN_SEEDED_RNG(rng, 404);
   std::vector<VertexId> scratch;
   std::vector<std::uint32_t> flags;
   for (int trial = 0; trial < 50; ++trial) {

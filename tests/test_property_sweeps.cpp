@@ -90,7 +90,7 @@ TEST_P(SuiteClassSweep, StoreStaysValidUnderUpdates) {
   BcStore store(g.num_vertices(), cfg);
   brandes_all(g, store);
   DynamicCpuEngine engine(g.num_vertices());
-  util::Rng rng(77);
+  BCDYN_SEEDED_RNG(rng, 77);
   for (int step = 0; step < 4; ++step) {
     const auto [u, v] = test::random_absent_edge(g, rng);
     if (u == kNoVertex) break;

@@ -24,7 +24,7 @@ void check_removal_stream(CSRGraph g, const ApproxConfig& cfg, int steps,
   BcStore store(n, cfg);
   brandes_all(g, store);
   DynamicCpuEngine engine(n);
-  util::Rng rng(seed);
+  BCDYN_SEEDED_RNG(rng, seed);
 
   for (int step = 0; step < steps; ++step) {
     COOGraph coo = g.to_coo();
@@ -133,7 +133,7 @@ TEST(Removal, InsertThenRemoveRoundTripsExactly) {
   const std::vector<double> bc0(store.bc().begin(), store.bc().end());
 
   DynamicCpuEngine engine(36);
-  util::Rng rng(11);
+  BCDYN_SEEDED_RNG(rng, 11);
   for (int round = 0; round < 6; ++round) {
     const auto [u, v] = test::random_absent_edge(g, rng);
     const auto g_plus = g.with_edge(u, v);
@@ -158,7 +158,7 @@ TEST(Removal, DynamicBcUsesIncrementalPathOnCpu) {
   analytic.compute();
   // Remove a handful of random existing edges via the public API.
   auto coo = g.to_coo();
-  util::Rng rng(9);
+  BCDYN_SEEDED_RNG(rng, 9);
   rng.shuffle(std::span(coo.edges));
   int case_total = 0;
   for (int i = 0; i < 5; ++i) {
@@ -178,7 +178,7 @@ TEST(Removal, GpuEnginesMatchStaticRecompute) {
     BcStore store(40, cfg);
     brandes_all(g, store);
     DynamicGpuBc engine(sim::DeviceSpec::tesla_c2075(), mode);
-    util::Rng rng(17);
+    BCDYN_SEEDED_RNG(rng, 17);
     for (int step = 0; step < 8; ++step) {
       COOGraph coo = g.to_coo();
       if (coo.edges.empty()) break;
@@ -214,7 +214,7 @@ TEST(Removal, GpuMixedInsertRemoveStream) {
   BcStore store(g.num_vertices(), cfg);
   brandes_all(g, store);
   DynamicGpuBc engine(sim::DeviceSpec::gtx_560(), Parallelism::kNode);
-  util::Rng rng(23);
+  BCDYN_SEEDED_RNG(rng, 23);
   std::vector<std::pair<VertexId, VertexId>> added;
   for (int op = 0; op < 20; ++op) {
     if (rng.next_bool(0.6) || added.empty()) {
@@ -240,7 +240,7 @@ TEST(Removal, DynamicBcGpuEnginesRemoveIncrementally) {
     DynamicBc analytic(g, {.engine = kind, .approx = {.num_sources = 10, .seed = 5}});
     analytic.compute();
     auto coo = g.to_coo();
-    util::Rng rng(6);
+    BCDYN_SEEDED_RNG(rng, 6);
     rng.shuffle(std::span(coo.edges));
     for (int i = 0; i < 4; ++i) {
       const auto [u, v] = coo.edges[static_cast<std::size_t>(i)];

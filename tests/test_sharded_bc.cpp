@@ -35,7 +35,7 @@ StreamEnd run_stream(int devices, Parallelism mode, ShardPolicy policy,
                   /*track_atomic_conflicts=*/false, policy);
   sim::GroupLaunchResult last = bc.compute(g, store);
 
-  util::Rng rng(seed);
+  BCDYN_SEEDED_RNG(rng, seed);
   std::pair<VertexId, VertexId> inserted{kNoVertex, kNoVertex};
   for (int step = 0; step < 4; ++step) {
     const auto [u, v] = test::random_absent_edge(g, rng);
@@ -191,7 +191,7 @@ TEST(ShardedBc, DynamicBcRoutesUpdatesThroughTheGroup) {
                          .shard_policy = ShardPolicy::kLptTouched});
   EXPECT_EQ(analytic.num_devices(), 3);
   analytic.compute();
-  util::Rng rng(29);
+  BCDYN_SEEDED_RNG(rng, 29);
   for (int step = 0; step < 3; ++step) {
     const auto [u, v] = test::random_absent_edge(analytic.graph(), rng);
     const UpdateOutcome out = analytic.insert_edge(u, v);
@@ -223,7 +223,7 @@ TEST(ShardedBc, DynamicBcScoresBitIdenticalAcrossShardedDeviceCounts) {
                               .num_devices = devices}));
     analytics.back()->compute();
   }
-  util::Rng rng(83);
+  BCDYN_SEEDED_RNG(rng, 83);
   for (int step = 0; step < 4; ++step) {
     const auto [u, v] = test::random_absent_edge(analytics[0]->graph(), rng);
     for (auto& a : analytics) EXPECT_TRUE(a->insert_edge(u, v).inserted);
@@ -268,7 +268,7 @@ TEST(ShardedBc, FuzzStreamBitIdenticalOneVsThreeDevices) {
     three.compute(g, store_three);
     expect_stores_identical(store_one, store_three, "after compute");
 
-    util::Rng rng(555);
+    BCDYN_SEEDED_RNG(rng, 555);
     std::vector<std::pair<VertexId, VertexId>> present;
     for (int step = 0; step < 10; ++step) {
       const bool removal = !present.empty() && rng.next_below(4) == 0;

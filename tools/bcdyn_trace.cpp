@@ -12,14 +12,22 @@
 //     occupancy/imbalance, the case-mix histogram, and atomic-conflict
 //     hotspots.
 //
+// --hazard additionally turns on the shadow-memory hazard detector in
+// strict mode: any same-round data race flagged by a kernel aborts the run
+// with the offending kernel/launch/block/round/items, and a clean run adds
+// a "== hazard detection ==" section to the report.
+//
 // --selftest runs a fixed scenario, checks the trace's structural
 // invariants (spans nest, every launch's blocks/jobs appear exactly once
-// on the SM timelines, exporters parse as JSON), and exits nonzero on any
-// violation - a CI gate for the whole observability layer.
+// on the SM timelines, exporters parse as JSON), verifies the hazard
+// detector stays quiet on the shipped kernels yet fires on a deliberately
+// racy fixture, and exits nonzero on any violation - a CI gate for the
+// whole observability layer.
 //
 // Flags: --graph=small|caida|... --scale=F --seed=S --sources=K
 //        --engine=cpu|gpu-edge|gpu-node --devices=N --insertions=N --batch=B
-//        --threshold=F --conflicts=0|1 --out=P --metrics=P --selftest
+//        --threshold=F --conflicts=0|1 --hazard --out=P --metrics=P
+//        --selftest
 
 #include <fstream>
 #include <iostream>
@@ -31,6 +39,8 @@
 #include "bc/batch_update.hpp"
 #include "bc/dynamic_bc.hpp"
 #include "gen/suite.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/hazard_detector.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/json.hpp"
 #include "trace/metrics.hpp"
@@ -55,6 +65,7 @@ struct Options {
   int batch = 16;  // batched insertions after the per-edge ones (0 = none)
   double threshold = 0.25;
   bool conflicts = true;
+  bool hazard = false;  // strict shadow-memory hazard detection
   std::string out = "trace.json";
   std::string metrics_out = "metrics.json";
   bool selftest = false;
@@ -160,6 +171,49 @@ int selftest() {
     problems.push_back("no device-group launches recorded");
   }
 
+  // --- hazard detector: shipped kernels clean, racy fixture fires ------
+  auto& hz = sim::hazards();
+  hz.clear();
+  hz.set_enabled(true);
+  run_scenario(opt);
+  if (hz.violations() != 0) {
+    problems.push_back("hazard: shipped kernels flagged " +
+                       std::to_string(hz.violations()) + " violations");
+    for (const auto& rec : hz.records()) {
+      problems.push_back("hazard:   " + rec.to_string());
+    }
+  }
+  const std::string report = trace::report_string(tr, trace::metrics());
+  if (report.find("== hazard detection ==") == std::string::npos) {
+    problems.push_back("hazard: report lacks the hazard-detection section");
+  }
+  if (report.find("no data hazards detected") == std::string::npos) {
+    problems.push_back("hazard: report does not state the run was clean");
+  }
+  // A deliberately racy kernel - every simulated thread writes element 0 -
+  // must throw in strict mode and leave an attributable record.
+  hz.set_strict(true);
+  sim::Device dev(sim::DeviceSpec::tesla_c2075());
+  std::vector<int> cell(1, 0);
+  bool fired = false;
+  try {
+    dev.launch(
+        1,
+        [&](sim::BlockContext& ctx) {
+          ctx.parallel_for(8, [&](std::size_t) { ctx.charge_write(cell, 0); });
+        },
+        "selftest_racy");
+  } catch (const sim::HazardError& e) {
+    fired = e.record().kernel == "selftest_racy" &&
+            e.record().first_item != e.record().second_item;
+  }
+  hz.set_strict(false);
+  hz.set_enabled(false);
+  if (!fired) {
+    problems.push_back(
+        "hazard: racy fixture did not raise an attributable HazardError");
+  }
+
   if (!problems.empty()) {
     for (const auto& p : problems) std::cerr << "selftest: " << p << "\n";
     return 1;
@@ -187,6 +241,7 @@ int main(int argc, char** argv) {
     opt.batch = static_cast<int>(cli.get_int("batch", opt.batch));
     opt.threshold = cli.get_double("threshold", opt.threshold);
     opt.conflicts = cli.get_bool("conflicts", opt.conflicts);
+    opt.hazard = cli.get_bool("hazard", opt.hazard);
     opt.out = cli.get("out", opt.out);
     opt.metrics_out = cli.get("metrics", opt.metrics_out);
     for (const auto& key : cli.unused_keys()) {
@@ -198,8 +253,23 @@ int main(int argc, char** argv) {
     auto& tr = trace::tracer();
     tr.clear();
     tr.set_enabled(true);
-    const int applied = run_scenario(opt);
+    if (opt.hazard) {
+      sim::hazards().clear();
+      sim::hazards().set_enabled(true);
+      sim::hazards().set_strict(true);
+    }
+    int applied = 0;
+    try {
+      applied = run_scenario(opt);
+    } catch (const sim::HazardError& e) {
+      std::cerr << "bcdyn_trace: " << e.record().to_string() << "\n";
+      return 1;
+    }
     tr.set_enabled(false);
+    if (opt.hazard) {
+      sim::hazards().set_strict(false);
+      sim::hazards().set_enabled(false);
+    }
 
     const std::vector<std::string> problems =
         trace::validate_events(tr.events());
