@@ -12,6 +12,11 @@
 //   --csv=DIR        also write CSV outputs into DIR
 //   --metrics=PATH   write bench results + run telemetry as metrics JSON
 //   --verify         cross-check engines' final scores where applicable
+//   --smoke          CI smoke mode: one tiny graph, minimal reps. Clamps
+//                    the common knobs (and each bench's own loops) so the
+//                    binary finishes in seconds; ctest runs every bench
+//                    this way under the `bench-smoke` label. Acceptance
+//                    gates that need realistic sizes are relaxed.
 #pragma once
 
 #include <iostream>
@@ -40,10 +45,12 @@ struct CommonConfig {
   std::string csv_dir;
   std::string metrics_path;
   bool verify = false;
+  bool smoke = false;
 };
 
 inline CommonConfig parse_common(const util::Cli& cli) {
   CommonConfig cfg;
+  cfg.smoke = cli.get_bool("smoke", false);
   cfg.scale = cli.get_double("scale", cfg.scale);
   cfg.graph_file = cli.get("graph-file", "");
   cfg.insertions = static_cast<int>(cli.get_int("insertions", cfg.insertions));
@@ -53,7 +60,17 @@ inline CommonConfig parse_common(const util::Cli& cli) {
   cfg.metrics_path = cli.get("metrics", "");
   cfg.verify = cli.get_bool("verify", false);
   const std::string graphs = cli.get("graphs", "");
-  if (graphs.empty()) {
+  if (cfg.smoke) {
+    // One rep of everything on one tiny graph; explicit --graphs/--scale
+    // still win so a fast run can target another suite entry.
+    if (graphs.empty()) cfg.graph_names = {"small"};
+    cfg.scale = std::min(cfg.scale, 0.1);
+    cfg.insertions = std::min(cfg.insertions, 4);
+    cfg.sources = std::min(cfg.sources, 8);
+  }
+  if (!cfg.graph_names.empty()) {
+    // smoke already chose
+  } else if (graphs.empty()) {
     cfg.graph_names = gen::suite_names();
   } else {
     std::size_t pos = 0;

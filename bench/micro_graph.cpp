@@ -2,6 +2,8 @@
 // substrate and the sequential BC building blocks.
 #include <benchmark/benchmark.h>
 
+#include "micro_smoke.hpp"
+
 #include "bc/brandes.hpp"
 #include "bc/dynamic_cpu.hpp"
 #include "gen/generators.hpp"
@@ -119,4 +121,6 @@ BENCHMARK(BM_DynamicCpuUpdate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return bcdyn::bench::micro_main(argc, argv);
+}

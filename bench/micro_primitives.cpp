@@ -2,6 +2,8 @@
 // block-level primitives and the host-side scan utilities.
 #include <benchmark/benchmark.h>
 
+#include "micro_smoke.hpp"
+
 #include <numeric>
 #include <vector>
 
@@ -107,4 +109,6 @@ BENCHMARK(BM_ChargingOverhead)->Arg(1 << 16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return bcdyn::bench::micro_main(argc, argv);
+}

@@ -1,0 +1,28 @@
+// main() plumbing for the google-benchmark micro binaries so they speak
+// the repo-wide --smoke convention (ctest label bench-smoke): --smoke is
+// rewritten into a minimal-time benchmark pass, so the binary still
+// exercises every registered benchmark but finishes in seconds.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string_view>
+#include <vector>
+
+namespace bcdyn::bench {
+
+inline int micro_main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char min_time[] = "--benchmark_min_time=0.01";
+  for (auto& arg : args) {
+    if (std::string_view(arg) == "--smoke") arg = min_time;
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bcdyn::bench

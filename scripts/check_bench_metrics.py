@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Guards the bench --metrics contract: gauge keys vs the committed schema.
+
+Every bench binary that records headline results does so through
+bench::record_result, which writes stable-keyed gauges
+(`<bench>.<graph>.<key>`) into the --metrics JSON. Downstream tooling
+(plot_results.py, dashboards) joins on those keys, so silently renaming one
+is an API break. This script runs each schema-listed bench with --smoke,
+collects the gauge keys it actually emits, normalizes run-dependent parts
+(graph names -> <graph>, digit runs -> N), and fails if the pattern set
+differs from scripts/bench_metrics_schema.json in either direction.
+
+Registered as a ctest (bench_metrics_schema, label bench-smoke), so a
+metric rename fails the default test run until the schema is updated
+deliberately:
+
+    python3 scripts/check_bench_metrics.py --bindir build/bench --update
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+# Suite graph names are run-dependent (one under --smoke, seven in a full
+# run); they normalize to a placeholder. "all" is the cross-graph summary
+# row and stays literal.
+SUITE_GRAPHS = {"caida", "coPap", "del", "eu", "kron", "pref", "small"}
+
+
+def normalize_key(key):
+    """ablation_adaptive.small.edge_seconds -> ablation_adaptive.<graph>.edge_seconds
+    fig1.sm14.small.b56.seconds -> fig1.smN.<graph>.bN.seconds"""
+    parts = []
+    for token in key.split("."):
+        if token in SUITE_GRAPHS:
+            parts.append("<graph>")
+        else:
+            parts.append(re.sub(r"\d+", "N", token))
+    return ".".join(parts)
+
+
+def bench_patterns(bindir, bench):
+    """Runs one bench in smoke mode and returns its normalized gauge keys."""
+    with tempfile.TemporaryDirectory() as tmp:
+        metrics_path = os.path.join(tmp, "metrics.json")
+        binary = os.path.join(bindir, bench)
+        result = subprocess.run(
+            [binary, "--smoke", f"--metrics={metrics_path}"],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        if result.returncode != 0:
+            raise RuntimeError(f"{bench} --smoke exited {result.returncode}")
+        with open(metrics_path) as f:
+            metrics = json.load(f)
+    gauges = metrics.get("gauges", {})
+    return sorted({normalize_key(k) for k in gauges})
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bindir", required=True,
+                        help="directory holding the bench binaries")
+    parser.add_argument("--schema",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "bench_metrics_schema.json"),
+                        help="committed schema JSON")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the schema from the current binaries "
+                             "instead of checking against it")
+    args = parser.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+
+    failures = []
+    observed = {}
+    for bench in sorted(schema):
+        try:
+            observed[bench] = bench_patterns(args.bindir, bench)
+        except (OSError, RuntimeError) as e:
+            failures.append(f"{bench}: failed to collect metrics ({e})")
+
+    if args.update:
+        if failures:
+            for f_ in failures:
+                print(f"error: {f_}", file=sys.stderr)
+            return 1
+        with open(args.schema, "w") as f:
+            json.dump(observed, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"schema updated: {args.schema}")
+        return 0
+
+    for bench in sorted(schema):
+        if bench not in observed:
+            continue
+        expected = set(schema[bench])
+        actual = set(observed[bench])
+        for missing in sorted(expected - actual):
+            failures.append(
+                f"{bench}: gauge pattern disappeared: {missing} "
+                f"(renamed a metric? update {os.path.basename(args.schema)} "
+                f"deliberately with --update)")
+        for extra in sorted(actual - expected):
+            failures.append(
+                f"{bench}: new gauge pattern not in schema: {extra} "
+                f"(add it with --update)")
+
+    if failures:
+        for f_ in failures:
+            print(f"error: {f_}", file=sys.stderr)
+        return 1
+    total = sum(len(v) for v in observed.values())
+    print(f"ok: {total} gauge patterns across {len(observed)} benches match "
+          f"the schema")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

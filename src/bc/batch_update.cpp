@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "bc/adaptive_policy.hpp"
 #include "bc/brandes.hpp"
 #include "bc/dynamic_bc.hpp"
 #include "bc/dynamic_cpu_parallel.hpp"
@@ -182,7 +183,17 @@ GpuBatchResult DynamicGpuBc::insert_edge_batch(const BatchSnapshots& batch,
 
   // Queue order: provisional batch weight per source, heaviest first (the
   // host-side sort a driver performs before enqueueing jobs; it changes
-  // only the schedule, never the per-source results).
+  // only the schedule, never the per-source results). The policy decides
+  // per-job modes but never the queue order: job order is the order BC
+  // deltas fold in, so reordering would perturb the float sums the forced
+  // modes must reproduce bit-identically - and the classification-based
+  // weight schedules at least as well as the cycle estimate.
+  LaunchPlan plan;
+  std::vector<double> cycles;
+  if (policy_ != nullptr) {
+    plan = policy_->plan_batch(final_g, store, batch);
+    cycles.assign(static_cast<std::size_t>(k), 0.0);
+  }
   auto& order = result.job_sources;
   order.resize(static_cast<std::size_t>(k));
   std::iota(order.begin(), order.end(), 0);
@@ -199,6 +210,9 @@ GpuBatchResult DynamicGpuBc::insert_edge_batch(const BatchSnapshots& batch,
   const Parallelism mode = mode_;
   auto& workspaces = workspaces_;
   auto& outcomes = result.outcomes;
+  const char* name = policy_ != nullptr        ? "batch.adaptive"
+                     : mode == Parallelism::kEdge ? "batch.edge"
+                                                  : "batch.node";
   result.stats = device_.launch_queue(
       k,
       [&, mode](sim::BlockContext& ctx, int job) {
@@ -206,27 +220,39 @@ GpuBatchResult DynamicGpuBc::insert_edge_batch(const BatchSnapshots& batch,
         GpuWorkspace& ws =
             workspaces[static_cast<std::size_t>(ctx.block_id())];
         const VertexId s = store.sources()[static_cast<std::size_t>(si)];
+        const Parallelism m = plan.mode_or(si, mode);
         auto d = store.dist_row(si);
         auto sigma = store.sigma_row(si);
         auto delta = store.delta_row(si);
         std::vector<VertexId> bfs_order;
         std::vector<std::size_t> level_offsets;
+        const double c0 = ctx.cycles();
         outcomes[static_cast<std::size_t>(si)] = detail::run_source_batch(
             batch.edges.size(), n, config,
             [&](std::size_t i) {
               const auto [u, v] = batch.edges[i];
               return detail::gpu_insert_source_update(
-                  ctx, ws, mode, batch.graphs[i], s, d, sigma, delta,
+                  ctx, ws, m, batch.graphs[i], s, d, sigma, delta,
                   store.bc(), u, v);
             },
             [&] {
-              detail::gpu_recompute_source(ctx, ws, mode, final_g, s, d,
+              detail::gpu_recompute_source(ctx, ws, m, final_g, s, d,
                                            sigma, delta, store.bc(),
                                            bfs_order, level_offsets);
             });
+        if (!cycles.empty()) {
+          cycles[static_cast<std::size_t>(si)] = ctx.cycles() - c0;
+        }
       },
-      &result.job_stats,
-      mode_ == Parallelism::kEdge ? "batch.edge" : "batch.node");
+      &result.job_stats, name);
+  if (policy_ != nullptr) {
+    std::vector<VertexId> touched(static_cast<std::size_t>(k), 0);
+    for (int si = 0; si < k; ++si) {
+      touched[static_cast<std::size_t>(si)] =
+          outcomes[static_cast<std::size_t>(si)].touched_total;
+    }
+    policy_->apply_feedback(plan, cycles, touched);
+  }
   return result;
 }
 

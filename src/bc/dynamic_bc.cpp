@@ -42,6 +42,8 @@ const char* to_string(EngineKind kind) {
       return "gpu-edge";
     case EngineKind::kGpuNode:
       return "gpu-node";
+    case EngineKind::kGpuAdaptive:
+      return "gpu-adaptive";
   }
   return "?";
 }
@@ -50,13 +52,14 @@ std::optional<EngineKind> engine_from_string(std::string_view name) {
   if (name == "cpu") return EngineKind::kCpu;
   if (name == "gpu-edge") return EngineKind::kGpuEdge;
   if (name == "gpu-node") return EngineKind::kGpuNode;
+  if (name == "gpu-adaptive") return EngineKind::kGpuAdaptive;
   return std::nullopt;
 }
 
 EngineKind parse_engine_flag(std::string_view flag) {
   if (const auto kind = engine_from_string(flag)) return *kind;
   throw std::invalid_argument("unknown engine '" + std::string(flag) +
-                              "' (want cpu|gpu-edge|gpu-node)");
+                              "' (want cpu|gpu-edge|gpu-node|gpu-adaptive)");
 }
 
 DynamicBc::DynamicBc(const CSRGraph& g, const Options& options)
@@ -72,7 +75,11 @@ DynamicBc::DynamicBc(const CSRGraph& g, const Options& options)
       cpu_engine_ = std::make_unique<DynamicCpuEngine>(g.num_vertices());
       break;
     case EngineKind::kGpuEdge:
-    case EngineKind::kGpuNode: {
+    case EngineKind::kGpuNode:
+    case EngineKind::kGpuAdaptive: {
+      // kGpuAdaptive overrides the fixed mode per launch through the
+      // policy; the nominal mode below only covers sources the policy
+      // leaves undecided (launches that cannot use a mode).
       const Parallelism mode = options_.engine == EngineKind::kGpuEdge
                                    ? Parallelism::kEdge
                                    : Parallelism::kNode;
@@ -87,6 +94,16 @@ DynamicBc::DynamicBc(const CSRGraph& g, const Options& options)
         gpu_static_ = std::make_unique<StaticGpuBc>(
             options_.device_spec, mode, cost_model_, /*host_workers=*/0,
             options_.track_atomic_conflicts);
+      }
+      if (options_.engine == EngineKind::kGpuAdaptive) {
+        policy_ = std::make_unique<ParallelismPolicy>(
+            options_.adaptive, options_.device_spec, cost_model_);
+        if (sharded_) {
+          sharded_->set_policy(policy_.get());
+        } else {
+          gpu_engine_->set_policy(policy_.get());
+          gpu_static_->set_policy(policy_.get());
+        }
       }
       break;
     }
@@ -111,22 +128,24 @@ int DynamicBc::num_devices() const {
   return sharded_ ? sharded_->num_devices() : 1;
 }
 
-void DynamicBc::compute() {
+double DynamicBc::compute() {
   trace::Span span("bc.compute", "bc",
                    {{"n", static_cast<double>(csr_.num_vertices())},
                     {"sources", static_cast<double>(store_.num_sources())}});
-  recompute();
+  const double modeled = recompute();
   computed_ = true;
+  return modeled;
 }
 
-void DynamicBc::recompute() {
+double DynamicBc::recompute() {
   if (options_.engine == EngineKind::kCpu) {
     brandes_all(csr_, store_);
-  } else if (sharded_) {
-    sharded_->compute(csr_, store_);
-  } else {
-    gpu_static_->compute(csr_, store_);
+    return 0.0;
   }
+  if (sharded_) {
+    return sharded_->compute(csr_, store_).group.seconds;
+  }
+  return gpu_static_->compute(csr_, store_).seconds;
 }
 
 UpdateOutcome DynamicBc::insert_edge(VertexId u, VertexId v) {

@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bc/adaptive_policy.hpp"
 #include "bc/bc_store.hpp"
 #include "bc/dynamic_cpu.hpp"
 #include "bc/dynamic_gpu.hpp"
@@ -39,13 +40,13 @@ namespace bcdyn {
 // Batch-update config (bc/batch_update.hpp).
 struct BatchConfig;
 
-enum class EngineKind { kCpu, kGpuEdge, kGpuNode };
+enum class EngineKind { kCpu, kGpuEdge, kGpuNode, kGpuAdaptive };
 
 const char* to_string(EngineKind kind);
 
-/// Parses the names to_string produces ("cpu", "gpu-edge", "gpu-node");
-/// nullopt for anything else. The single home for engine-name parsing -
-/// tools and benches must not hand-roll their own.
+/// Parses the names to_string produces ("cpu", "gpu-edge", "gpu-node",
+/// "gpu-adaptive"); nullopt for anything else. The single home for
+/// engine-name parsing - tools and benches must not hand-roll their own.
 std::optional<EngineKind> engine_from_string(std::string_view name);
 
 /// engine_from_string for CLI flags: throws std::invalid_argument naming
@@ -71,6 +72,10 @@ class DynamicBc {
     /// Default BatchConfig::recompute_threshold for insert_edge_batch
     /// calls that do not pass an explicit config.
     double batch_recompute_threshold = 0.25;
+    /// kGpuAdaptive only: the parallelism policy's configuration (probe
+    /// seed, forced-mode override, exploration rate). Ignored by the
+    /// fixed engines.
+    AdaptiveConfig adaptive;
   };
 
   /// Snapshot `g`; the analytic owns its own dynamic copy of the graph.
@@ -85,8 +90,10 @@ class DynamicBc {
             bool track_atomic_conflicts = false);
 
   /// Initial static computation (fills the per-source store and scores).
-  /// Must be called (once) before insert_edge.
-  void compute();
+  /// Must be called (once) before insert_edge. Returns the modeled seconds
+  /// of the static pass (0 for the CPU engine, whose static pass is not
+  /// cost-modeled).
+  double compute();
 
   /// Insert an undirected edge and incrementally update the analytic.
   UpdateOutcome insert_edge(VertexId u, VertexId v);
@@ -126,6 +133,10 @@ class DynamicBc {
   const Options& options() const { return options_; }
   /// Simulated devices the GPU engines run on (1 for the CPU engine).
   int num_devices() const;
+  /// The adaptive parallelism policy (kGpuAdaptive only; null otherwise).
+  /// Exposes the decision log, replay mode, and decision counts.
+  ParallelismPolicy* policy() { return policy_.get(); }
+  const ParallelismPolicy* policy() const { return policy_.get(); }
 
   /// The `k` highest-scoring vertices, descending (ties by vertex id).
   std::vector<std::pair<VertexId, double>> top_k(int k) const;
@@ -138,7 +149,7 @@ class DynamicBc {
 
  private:
   UpdateOutcome run_update(VertexId u, VertexId v);
-  void recompute();
+  double recompute();
 
   DynamicGraph dyn_;
   CSRGraph csr_;
@@ -150,6 +161,7 @@ class DynamicBc {
   std::unique_ptr<DynamicGpuBc> gpu_engine_;     // num_devices == 1
   std::unique_ptr<StaticGpuBc> gpu_static_;      // num_devices == 1
   std::unique_ptr<ShardedGpuBc> sharded_;        // num_devices > 1
+  std::unique_ptr<ParallelismPolicy> policy_;    // kGpuAdaptive only
   sim::CostModel cost_model_;
 };
 

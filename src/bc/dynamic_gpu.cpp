@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bc/adaptive_policy.hpp"
 #include "bc/static_kernels.hpp"
 #include "gpusim/primitives.hpp"
 #include "trace/metrics.hpp"
@@ -944,16 +945,38 @@ GpuUpdateResult DynamicGpuBc::insert_edge_update(const CSRGraph& g,
   auto& workspaces = workspaces_;
   auto& outcomes = result.outcomes;
 
+  LaunchPlan plan;
+  std::vector<double> cycles;
+  if (policy_ != nullptr) {
+    plan = policy_->plan_insert(g, store, u, v);
+    cycles.assign(static_cast<std::size_t>(k), 0.0);
+  }
+
+  const char* name = policy_ != nullptr        ? "insert.adaptive"
+                     : mode == Parallelism::kEdge ? "insert.edge"
+                                                  : "insert.node";
   result.stats = device_.launch(num_blocks, [&, mode, num_blocks, u,
                                              v](BlockContext& ctx) {
     GpuWorkspace& ws = workspaces[static_cast<std::size_t>(ctx.block_id())];
     for (int si = ctx.block_id(); si < k; si += num_blocks) {
       const VertexId s = store.sources()[static_cast<std::size_t>(si)];
+      const double c0 = ctx.cycles();
       outcomes[static_cast<std::size_t>(si)] = detail::gpu_insert_source_update(
-          ctx, ws, mode, g, s, store.dist_row(si), store.sigma_row(si),
-          store.delta_row(si), store.bc(), u, v);
+          ctx, ws, plan.mode_or(si, mode), g, s, store.dist_row(si),
+          store.sigma_row(si), store.delta_row(si), store.bc(), u, v);
+      if (!cycles.empty()) {
+        cycles[static_cast<std::size_t>(si)] = ctx.cycles() - c0;
+      }
     }
-  }, mode_ == Parallelism::kEdge ? "insert.edge" : "insert.node");
+  }, name);
+  if (policy_ != nullptr) {
+    std::vector<VertexId> touched(static_cast<std::size_t>(k), 0);
+    for (int si = 0; si < k; ++si) {
+      touched[static_cast<std::size_t>(si)] =
+          outcomes[static_cast<std::size_t>(si)].touched;
+    }
+    policy_->apply_feedback(plan, cycles, touched);
+  }
   return result;
 }
 
@@ -969,6 +992,16 @@ GpuUpdateResult DynamicGpuBc::remove_edge_update(const CSRGraph& g,
   auto& workspaces = workspaces_;
   auto& outcomes = result.outcomes;
 
+  LaunchPlan plan;
+  std::vector<double> cycles;
+  if (policy_ != nullptr) {
+    plan = policy_->plan_remove(g, store, u, v);
+    cycles.assign(static_cast<std::size_t>(k), 0.0);
+  }
+
+  const char* name = policy_ != nullptr        ? "remove.adaptive"
+                     : mode == Parallelism::kEdge ? "remove.edge"
+                                                  : "remove.node";
   result.stats = device_.launch(num_blocks, [&, mode, num_blocks, u,
                                              v](BlockContext& ctx) {
     GpuWorkspace& ws = workspaces[static_cast<std::size_t>(ctx.block_id())];
@@ -976,11 +1009,24 @@ GpuUpdateResult DynamicGpuBc::remove_edge_update(const CSRGraph& g,
     std::vector<std::size_t> level_offsets;
     for (int si = ctx.block_id(); si < k; si += num_blocks) {
       const VertexId s = store.sources()[static_cast<std::size_t>(si)];
+      const double c0 = ctx.cycles();
       outcomes[static_cast<std::size_t>(si)] = detail::gpu_remove_source_update(
-          ctx, ws, mode, g, s, store.dist_row(si), store.sigma_row(si),
-          store.delta_row(si), store.bc(), u, v, order, level_offsets);
+          ctx, ws, plan.mode_or(si, mode), g, s, store.dist_row(si),
+          store.sigma_row(si), store.delta_row(si), store.bc(), u, v, order,
+          level_offsets);
+      if (!cycles.empty()) {
+        cycles[static_cast<std::size_t>(si)] = ctx.cycles() - c0;
+      }
     }
-  }, mode_ == Parallelism::kEdge ? "remove.edge" : "remove.node");
+  }, name);
+  if (policy_ != nullptr) {
+    std::vector<VertexId> touched(static_cast<std::size_t>(k), 0);
+    for (int si = 0; si < k; ++si) {
+      touched[static_cast<std::size_t>(si)] =
+          outcomes[static_cast<std::size_t>(si)].touched;
+    }
+    policy_->apply_feedback(plan, cycles, touched);
+  }
   return result;
 }
 

@@ -96,9 +96,16 @@ class DynamicGpuBc {
   const sim::DeviceSpec& spec() const { return device_.spec(); }
   Parallelism mode() const { return mode_; }
 
+  /// Adaptive parallelism: when set, every launch plans a per-source
+  /// edge/node decision through the policy (and feeds measured modeled
+  /// cycles back). Null restores the fixed `mode` behavior. Not owned.
+  void set_policy(ParallelismPolicy* policy) { policy_ = policy; }
+  ParallelismPolicy* policy() const { return policy_; }
+
  private:
   sim::Device device_;
   Parallelism mode_;
+  ParallelismPolicy* policy_ = nullptr;
   std::vector<GpuWorkspace> workspaces_;  // one per block
 };
 

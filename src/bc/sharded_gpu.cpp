@@ -5,6 +5,7 @@
 #include <numeric>
 #include <utility>
 
+#include "bc/adaptive_policy.hpp"
 #include "bc/case_classify.hpp"
 #include "bc/static_kernels.hpp"
 
@@ -101,25 +102,57 @@ void ShardedGpuBc::remember_weights(const sim::GroupLaunchResult& result) {
   }
 }
 
+std::vector<std::int64_t> ShardedGpuBc::planned_weights(
+    const LaunchPlan& plan, int k) const {
+  std::vector<std::int64_t> weights(static_cast<std::size_t>(k), 0);
+  for (int si = 0; si < k; ++si) {
+    weights[static_cast<std::size_t>(si)] = adaptive_->planned_weight(plan, si);
+  }
+  return weights;
+}
+
 sim::GroupLaunchResult ShardedGpuBc::compute(const CSRGraph& g,
                                              BcStore& store) {
   std::fill(store.bc().begin(), store.bc().end(), 0.0);
   const int k = store.num_sources();
   ws_.ensure(g.num_vertices());
-  const std::vector<int> shard = shard_sources(k);
+
+  LaunchPlan plan;
+  std::vector<double> cycles;
+  std::vector<std::int64_t> weights;
+  if (adaptive_ != nullptr) {
+    plan = adaptive_->plan_static(g, store);
+    cycles.assign(static_cast<std::size_t>(k), 0.0);
+    weights = planned_weights(plan, k);
+  }
+
+  std::vector<int> shard;
   std::span<const std::int64_t> priority;
-  if (policy_ == ShardPolicy::kLptTouched &&
-      last_cycles_.size() == static_cast<std::size_t>(k)) {
-    priority = last_cycles_;
+  if (adaptive_ != nullptr && policy_ == ShardPolicy::kLptTouched) {
+    // The policy's cycle estimates beat the previous launch's cycles: they
+    // already reflect this launch's per-source mode decisions.
+    shard = lpt_assign(weights, num_devices());
+    priority = weights;
+  } else {
+    shard = shard_sources(k);
+    if (policy_ == ShardPolicy::kLptTouched &&
+        last_cycles_.size() == static_cast<std::size_t>(k)) {
+      priority = last_cycles_;
+    }
   }
   std::vector<VertexId> order;
   std::vector<std::size_t> level_offsets;
   const Parallelism mode = mode_;
+  const char* name = adaptive_ != nullptr      ? "static_bc.adaptive"
+                     : mode == Parallelism::kEdge ? "static_bc.edge"
+                                                  : "static_bc.node";
   sim::GroupLaunchResult result = group_.launch_sharded(
       k, shard, priority,
       [&, mode](sim::BlockContext& ctx, int si) {
         const VertexId s = store.sources()[static_cast<std::size_t>(si)];
-        if (mode == Parallelism::kEdge) {
+        const Parallelism m = plan.mode_or(si, mode);
+        const double c0 = ctx.cycles();
+        if (m == Parallelism::kEdge) {
           detail::static_source_edge(ctx, g, s, store.dist_row(si),
                                      store.sigma_row(si), store.delta_row(si),
                                      store.bc());
@@ -128,9 +161,12 @@ sim::GroupLaunchResult ShardedGpuBc::compute(const CSRGraph& g,
                                      store.sigma_row(si), store.delta_row(si),
                                      store.bc(), order, level_offsets);
         }
+        if (!cycles.empty()) {
+          cycles[static_cast<std::size_t>(si)] = ctx.cycles() - c0;
+        }
       },
-      /*per_job=*/nullptr,
-      mode_ == Parallelism::kEdge ? "static_bc.edge" : "static_bc.node");
+      /*per_job=*/nullptr, name);
+  if (adaptive_ != nullptr) adaptive_->apply_feedback(plan, cycles, {});
   remember_weights(result);
   return result;
 }
@@ -142,17 +178,30 @@ ShardedUpdateResult ShardedGpuBc::insert_edge_update(const CSRGraph& g,
   ShardedUpdateResult result;
   result.outcomes.resize(static_cast<std::size_t>(k));
   ws_.ensure(g.num_vertices());
+
+  LaunchPlan plan;
+  std::vector<double> cycles;
+  if (adaptive_ != nullptr) {
+    plan = adaptive_->plan_insert(g, store, u, v);
+    cycles.assign(static_cast<std::size_t>(k), 0.0);
+  }
+
   // Single-edge updates carry an edge-specific cost prediction (the case
   // each source will take, read off its dist row), which beats the
-  // previous launch's cycles: the heavy tail moves with the edge.
+  // previous launch's cycles: the heavy tail moves with the edge. With an
+  // adaptive policy, the prediction is its per-job cycle estimate.
   std::vector<int> shard;
   std::vector<std::int64_t> weights;
   std::span<const std::int64_t> priority;
   if (policy_ == ShardPolicy::kLptTouched) {
-    weights.resize(static_cast<std::size_t>(k));
-    for (int si = 0; si < k; ++si) {
-      weights[static_cast<std::size_t>(si)] =
-          update_job_weight(store.dist_row(si), u, v, /*removal=*/false);
+    if (adaptive_ != nullptr) {
+      weights = planned_weights(plan, k);
+    } else {
+      weights.resize(static_cast<std::size_t>(k));
+      for (int si = 0; si < k; ++si) {
+        weights[static_cast<std::size_t>(si)] =
+            update_job_weight(store.dist_row(si), u, v, /*removal=*/false);
+      }
     }
     shard = lpt_assign(weights, num_devices());
     priority = weights;
@@ -161,19 +210,33 @@ ShardedUpdateResult ShardedGpuBc::insert_edge_update(const CSRGraph& g,
   }
   auto& outcomes = result.outcomes;
   const Parallelism mode = mode_;
+  const char* name = adaptive_ != nullptr      ? "insert.adaptive"
+                     : mode == Parallelism::kEdge ? "insert.edge"
+                                                  : "insert.node";
   result.launch = group_.launch_sharded(
       k, shard, priority,
       [&, mode, u, v](sim::BlockContext& ctx, int si) {
         const VertexId s = store.sources()[static_cast<std::size_t>(si)];
+        const double c0 = ctx.cycles();
         outcomes[static_cast<std::size_t>(si)] =
-            detail::gpu_insert_source_update(ctx, ws_, mode, g, s,
-                                             store.dist_row(si),
+            detail::gpu_insert_source_update(ctx, ws_, plan.mode_or(si, mode),
+                                             g, s, store.dist_row(si),
                                              store.sigma_row(si),
                                              store.delta_row(si), store.bc(),
                                              u, v);
+        if (!cycles.empty()) {
+          cycles[static_cast<std::size_t>(si)] = ctx.cycles() - c0;
+        }
       },
-      /*per_job=*/nullptr,
-      mode_ == Parallelism::kEdge ? "insert.edge" : "insert.node");
+      /*per_job=*/nullptr, name);
+  if (adaptive_ != nullptr) {
+    std::vector<VertexId> touched(static_cast<std::size_t>(k), 0);
+    for (int si = 0; si < k; ++si) {
+      touched[static_cast<std::size_t>(si)] =
+          outcomes[static_cast<std::size_t>(si)].touched;
+    }
+    adaptive_->apply_feedback(plan, cycles, touched);
+  }
   remember_weights(result.launch);
   return result;
 }
@@ -185,14 +248,26 @@ ShardedUpdateResult ShardedGpuBc::remove_edge_update(const CSRGraph& g,
   ShardedUpdateResult result;
   result.outcomes.resize(static_cast<std::size_t>(k));
   ws_.ensure(g.num_vertices());
+
+  LaunchPlan plan;
+  std::vector<double> cycles;
+  if (adaptive_ != nullptr) {
+    plan = adaptive_->plan_remove(g, store, u, v);
+    cycles.assign(static_cast<std::size_t>(k), 0.0);
+  }
+
   std::vector<int> shard;
   std::vector<std::int64_t> weights;
   std::span<const std::int64_t> priority;
   if (policy_ == ShardPolicy::kLptTouched) {
-    weights.resize(static_cast<std::size_t>(k));
-    for (int si = 0; si < k; ++si) {
-      weights[static_cast<std::size_t>(si)] =
-          update_job_weight(store.dist_row(si), u, v, /*removal=*/true);
+    if (adaptive_ != nullptr) {
+      weights = planned_weights(plan, k);
+    } else {
+      weights.resize(static_cast<std::size_t>(k));
+      for (int si = 0; si < k; ++si) {
+        weights[static_cast<std::size_t>(si)] =
+            update_job_weight(store.dist_row(si), u, v, /*removal=*/true);
+      }
     }
     shard = lpt_assign(weights, num_devices());
     priority = weights;
@@ -203,17 +278,32 @@ ShardedUpdateResult ShardedGpuBc::remove_edge_update(const CSRGraph& g,
   std::vector<std::size_t> level_offsets;
   auto& outcomes = result.outcomes;
   const Parallelism mode = mode_;
+  const char* name = adaptive_ != nullptr      ? "remove.adaptive"
+                     : mode == Parallelism::kEdge ? "remove.edge"
+                                                  : "remove.node";
   result.launch = group_.launch_sharded(
       k, shard, priority,
       [&, mode, u, v](sim::BlockContext& ctx, int si) {
         const VertexId s = store.sources()[static_cast<std::size_t>(si)];
+        const double c0 = ctx.cycles();
         outcomes[static_cast<std::size_t>(si)] =
             detail::gpu_remove_source_update(
-                ctx, ws_, mode, g, s, store.dist_row(si), store.sigma_row(si),
-                store.delta_row(si), store.bc(), u, v, order, level_offsets);
+                ctx, ws_, plan.mode_or(si, mode), g, s, store.dist_row(si),
+                store.sigma_row(si), store.delta_row(si), store.bc(), u, v,
+                order, level_offsets);
+        if (!cycles.empty()) {
+          cycles[static_cast<std::size_t>(si)] = ctx.cycles() - c0;
+        }
       },
-      /*per_job=*/nullptr,
-      mode_ == Parallelism::kEdge ? "remove.edge" : "remove.node");
+      /*per_job=*/nullptr, name);
+  if (adaptive_ != nullptr) {
+    std::vector<VertexId> touched(static_cast<std::size_t>(k), 0);
+    for (int si = 0; si < k; ++si) {
+      touched[static_cast<std::size_t>(si)] =
+          outcomes[static_cast<std::size_t>(si)].touched;
+    }
+    adaptive_->apply_feedback(plan, cycles, touched);
+  }
   remember_weights(result.launch);
   return result;
 }
@@ -229,13 +319,26 @@ ShardedBatchResult ShardedGpuBc::insert_edge_batch(const BatchSnapshots& batch,
   const VertexId n = final_g.num_vertices();
   ws_.ensure(n);
 
+  LaunchPlan plan;
+  std::vector<double> cycles;
+  if (adaptive_ != nullptr) {
+    plan = adaptive_->plan_batch(final_g, store, batch);
+    cycles.assign(static_cast<std::size_t>(k), 0.0);
+  }
+
   // Batch jobs carry a usable work prediction of their own (the provisional
-  // per-source batch weight), so both policies shard AND order the queues
-  // by it - fresher than the previous launch's cycles.
-  std::vector<std::int64_t> weights(static_cast<std::size_t>(k), 0);
-  for (int si = 0; si < k; ++si) {
-    weights[static_cast<std::size_t>(si)] =
-        detail::batch_job_weight(store.dist_row(si), batch);
+  // per-source batch weight - or, with an adaptive policy, its per-job
+  // cycle estimate), so both policies shard AND order the queues by it -
+  // fresher than the previous launch's cycles.
+  std::vector<std::int64_t> weights;
+  if (adaptive_ != nullptr) {
+    weights = planned_weights(plan, k);
+  } else {
+    weights.assign(static_cast<std::size_t>(k), 0);
+    for (int si = 0; si < k; ++si) {
+      weights[static_cast<std::size_t>(si)] =
+          detail::batch_job_weight(store.dist_row(si), batch);
+    }
   }
   const std::vector<int> shard = policy_ == ShardPolicy::kRoundRobin
                                      ? round_robin_assign(k, num_devices())
@@ -245,30 +348,45 @@ ShardedBatchResult ShardedGpuBc::insert_edge_batch(const BatchSnapshots& batch,
   std::vector<std::size_t> level_offsets;
   auto& outcomes = result.outcomes;
   const Parallelism mode = mode_;
+  const char* name = adaptive_ != nullptr      ? "batch.adaptive"
+                     : mode == Parallelism::kEdge ? "batch.edge"
+                                                  : "batch.node";
   result.launch = group_.launch_sharded(
       k, shard, weights,
       [&, mode](sim::BlockContext& ctx, int si) {
         const VertexId s = store.sources()[static_cast<std::size_t>(si)];
+        const Parallelism m = plan.mode_or(si, mode);
         auto d = store.dist_row(si);
         auto sigma = store.sigma_row(si);
         auto delta = store.delta_row(si);
+        const double c0 = ctx.cycles();
         outcomes[static_cast<std::size_t>(si)] = detail::run_source_batch(
             batch.edges.size(), n, config,
             [&](std::size_t i) {
               const auto [u, v] = batch.edges[i];
-              return detail::gpu_insert_source_update(ctx, ws_, mode,
+              return detail::gpu_insert_source_update(ctx, ws_, m,
                                                       batch.graphs[i], s, d,
                                                       sigma, delta,
                                                       store.bc(), u, v);
             },
             [&] {
-              detail::gpu_recompute_source(ctx, ws_, mode, final_g, s, d,
+              detail::gpu_recompute_source(ctx, ws_, m, final_g, s, d,
                                            sigma, delta, store.bc(),
                                            bfs_order, level_offsets);
             });
+        if (!cycles.empty()) {
+          cycles[static_cast<std::size_t>(si)] = ctx.cycles() - c0;
+        }
       },
-      /*per_job=*/nullptr,
-      mode_ == Parallelism::kEdge ? "batch.edge" : "batch.node");
+      /*per_job=*/nullptr, name);
+  if (adaptive_ != nullptr) {
+    std::vector<VertexId> touched(static_cast<std::size_t>(k), 0);
+    for (int si = 0; si < k; ++si) {
+      touched[static_cast<std::size_t>(si)] =
+          outcomes[static_cast<std::size_t>(si)].touched_total;
+    }
+    adaptive_->apply_feedback(plan, cycles, touched);
+  }
   remember_weights(result.launch);
   return result;
 }

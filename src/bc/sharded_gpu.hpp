@@ -27,6 +27,8 @@
 
 namespace bcdyn {
 
+struct LaunchPlan;  // bc/adaptive_policy.hpp
+
 /// How sources are partitioned across the group's home queues. Stealing
 /// rebalances either policy at runtime; the policy decides how much
 /// stealing is needed.
@@ -95,13 +97,26 @@ class ShardedGpuBc {
   Parallelism mode() const { return mode_; }
   ShardPolicy policy() const { return policy_; }
 
+  /// Adaptive parallelism: when set, every launch plans a per-source
+  /// edge/node decision through the policy (and feeds measured modeled
+  /// cycles back), and kLptTouched shards by the policy's per-job cycle
+  /// estimates. Null restores the fixed `mode` behavior. Not owned.
+  void set_policy(ParallelismPolicy* policy) { adaptive_ = policy; }
+  ParallelismPolicy* adaptive_policy() const { return adaptive_; }
+
  private:
   /// Records per-job modeled cycles as the next launch's LPT weights.
   void remember_weights(const sim::GroupLaunchResult& result);
 
+  /// LPT weights when the adaptive policy planned this launch: the
+  /// policy's per-job cycle estimates (0 for undecided = free jobs).
+  std::vector<std::int64_t> planned_weights(const LaunchPlan& plan,
+                                            int k) const;
+
   sim::DeviceGroup group_;
   Parallelism mode_;
   ShardPolicy policy_;
+  ParallelismPolicy* adaptive_ = nullptr;
   GpuWorkspace ws_;  // host execution is sequential: one workspace suffices
   std::vector<std::int64_t> last_cycles_;  // per source index, from the
                                            // previous launch (LPT input)

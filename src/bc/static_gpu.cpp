@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "bc/adaptive_policy.hpp"
 #include "bc/static_kernels.hpp"
 
 namespace bcdyn {
@@ -20,24 +21,42 @@ sim::KernelStats StaticGpuBc::compute(const CSRGraph& g, BcStore& store,
   const int k = store.num_sources();
   const Parallelism mode = mode_;
 
-  const char* name =
-      mode == Parallelism::kEdge ? "static_bc.edge" : "static_bc.node";
-  return device_.launch(num_blocks, [&, mode, num_blocks](sim::BlockContext& ctx) {
-    std::vector<VertexId> order;
-    std::vector<std::size_t> level_offsets;
-    for (int si = ctx.block_id(); si < k; si += num_blocks) {
-      const VertexId s = store.sources()[static_cast<std::size_t>(si)];
-      if (mode == Parallelism::kEdge) {
-        detail::static_source_edge(ctx, g, s, store.dist_row(si),
-                                   store.sigma_row(si), store.delta_row(si),
-                                   store.bc());
-      } else {
-        detail::static_source_node(ctx, g, s, store.dist_row(si),
-                                   store.sigma_row(si), store.delta_row(si),
-                                   store.bc(), order, level_offsets);
-      }
-    }
-  }, name);
+  LaunchPlan plan;
+  std::vector<double> cycles;
+  if (policy_ != nullptr) {
+    plan = policy_->plan_static(g, store);
+    cycles.assign(static_cast<std::size_t>(k), 0.0);
+  }
+
+  const char* name = policy_ != nullptr ? "static_bc.adaptive"
+                     : mode == Parallelism::kEdge ? "static_bc.edge"
+                                                  : "static_bc.node";
+  const sim::KernelStats stats = device_.launch(
+      num_blocks, [&, mode, num_blocks](sim::BlockContext& ctx) {
+        std::vector<VertexId> order;
+        std::vector<std::size_t> level_offsets;
+        for (int si = ctx.block_id(); si < k; si += num_blocks) {
+          const VertexId s = store.sources()[static_cast<std::size_t>(si)];
+          const Parallelism m = plan.mode_or(si, mode);
+          const double c0 = ctx.cycles();
+          if (m == Parallelism::kEdge) {
+            detail::static_source_edge(ctx, g, s, store.dist_row(si),
+                                       store.sigma_row(si),
+                                       store.delta_row(si), store.bc());
+          } else {
+            detail::static_source_node(ctx, g, s, store.dist_row(si),
+                                       store.sigma_row(si),
+                                       store.delta_row(si), store.bc(), order,
+                                       level_offsets);
+          }
+          if (!cycles.empty()) {
+            cycles[static_cast<std::size_t>(si)] = ctx.cycles() - c0;
+          }
+        }
+      },
+      name);
+  if (policy_ != nullptr) policy_->apply_feedback(plan, cycles, {});
+  return stats;
 }
 
 }  // namespace bcdyn

@@ -16,6 +16,8 @@
 
 namespace bcdyn {
 
+class ParallelismPolicy;  // bc/adaptive_policy.hpp
+
 enum class Parallelism { kEdge, kNode };
 
 inline const char* to_string(Parallelism p) {
@@ -36,9 +38,16 @@ class StaticGpuBc {
 
   const sim::DeviceSpec& spec() const { return device_.spec(); }
 
+  /// Adaptive parallelism: when set, every launch plans a per-source
+  /// edge/node decision through the policy (and feeds measured modeled
+  /// cycles back). Null restores the fixed `mode` behavior. Not owned.
+  void set_policy(ParallelismPolicy* policy) { policy_ = policy; }
+  ParallelismPolicy* policy() const { return policy_; }
+
  private:
   sim::Device device_;
   Parallelism mode_;
+  ParallelismPolicy* policy_ = nullptr;
 };
 
 }  // namespace bcdyn

@@ -244,6 +244,42 @@ void write_report(const std::vector<TraceEvent>& events,
     }
   }
 
+  // --- adaptive policy (gpu-adaptive engine only) --------------------
+  // Only rendered when a ParallelismPolicy made decisions: fixed-engine
+  // runs emit no bc.adaptive.* counters and their report is unchanged.
+  const std::uint64_t decisions =
+      registry.counter_value("bc.adaptive.decisions.count");
+  if (decisions > 0) {
+    const std::uint64_t edge = registry.counter_value("bc.adaptive.edge.count");
+    const std::uint64_t node = registry.counter_value("bc.adaptive.node.count");
+    out << "\n== adaptive policy ==\n";
+    out << "  " << decisions << " decisions: " << edge << " edge-parallel, "
+        << node << " node-parallel, "
+        << registry.counter_value("bc.adaptive.explore.count")
+        << " exploration probes\n";
+    out << "  launch kind            edge     node\n";
+    const char* kind_rows[] = {"static", "case2",     "case3",
+                               "removal", "recompute", "batch"};
+    for (const char* kind : kind_rows) {
+      const std::uint64_t e = registry.counter_value(
+          "bc.adaptive." + std::string(kind) + ".edge.count");
+      const std::uint64_t n = registry.counter_value(
+          "bc.adaptive." + std::string(kind) + ".node.count");
+      if (e == 0 && n == 0) continue;
+      char line[160];
+      std::snprintf(line, sizeof(line), "  %-18s %8llu %8llu\n", kind,
+                    static_cast<unsigned long long>(e),
+                    static_cast<unsigned long long>(n));
+      out << line;
+    }
+    const auto ratio = registry.histogram("bc.adaptive.est_ratio");
+    if (ratio.count > 0) {
+      out << "  estimate/measured cycle ratio: mean " << fmt("%.2f", ratio.mean())
+          << ", max " << fmt("%.2f", ratio.max) << " over " << ratio.count
+          << " fed-back launches\n";
+    }
+  }
+
   // --- frontier sizes (only populated in traced runs) ----------------
   const auto frontier = registry.histogram("bc.frontier_size");
   if (frontier.count > 0) {

@@ -111,13 +111,14 @@ TEST(DynamicBcApi, EngineNames) {
   EXPECT_STREQ(to_string(EngineKind::kCpu), "cpu");
   EXPECT_STREQ(to_string(EngineKind::kGpuEdge), "gpu-edge");
   EXPECT_STREQ(to_string(EngineKind::kGpuNode), "gpu-node");
+  EXPECT_STREQ(to_string(EngineKind::kGpuAdaptive), "gpu-adaptive");
   EXPECT_STREQ(to_string(Parallelism::kEdge), "Edge");
   EXPECT_STREQ(to_string(Parallelism::kNode), "Node");
 }
 
 TEST(DynamicBcApi, EngineParsingRoundTrips) {
-  for (EngineKind kind :
-       {EngineKind::kCpu, EngineKind::kGpuEdge, EngineKind::kGpuNode}) {
+  for (EngineKind kind : {EngineKind::kCpu, EngineKind::kGpuEdge,
+                          EngineKind::kGpuNode, EngineKind::kGpuAdaptive}) {
     const auto parsed = engine_from_string(to_string(kind));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, kind);
@@ -126,7 +127,49 @@ TEST(DynamicBcApi, EngineParsingRoundTrips) {
   EXPECT_FALSE(engine_from_string("gpu").has_value());
   EXPECT_FALSE(engine_from_string("").has_value());
   EXPECT_FALSE(engine_from_string("CPU").has_value());
+  EXPECT_FALSE(engine_from_string("gpu-Adaptive").has_value());
+  EXPECT_FALSE(engine_from_string(" gpu-edge").has_value());
+  EXPECT_FALSE(engine_from_string("gpu-node ").has_value());
+  EXPECT_FALSE(engine_from_string("adaptive").has_value());
   EXPECT_THROW(parse_engine_flag("warp"), std::invalid_argument);
+  // The error names the flag's value and every accepted engine.
+  try {
+    parse_engine_flag("gpu-warp");
+    FAIL() << "parse_engine_flag accepted an unknown engine";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gpu-warp"), std::string::npos);
+    for (const char* name : {"cpu", "gpu-edge", "gpu-node", "gpu-adaptive"}) {
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(DynamicBcApi, AdaptiveEngineAgreesWithCpuAndExposesPolicy) {
+  const auto g = test::gnp_graph(40, 0.08, 61);
+  DynamicBc cpu(g, {.engine = EngineKind::kCpu,
+                    .approx = {.num_sources = 10, .seed = 3}});
+  DynamicBc adaptive(g, {.engine = EngineKind::kGpuAdaptive,
+                         .approx = {.num_sources = 10, .seed = 3}});
+  EXPECT_EQ(cpu.policy(), nullptr);
+  ASSERT_NE(adaptive.policy(), nullptr);
+  cpu.compute();
+  adaptive.compute();
+  BCDYN_SEEDED_RNG(rng, 77);
+  for (int step = 0; step < 4; ++step) {
+    const auto [u, v] = test::random_absent_edge(cpu.graph(), rng);
+    EXPECT_TRUE(cpu.insert_edge(u, v).inserted);
+    EXPECT_TRUE(adaptive.insert_edge(u, v).inserted);
+  }
+  test::expect_near_spans(adaptive.scores(), cpu.scores(), 1e-7,
+                          "adaptive vs cpu");
+  // The policy decided the static pass and every update's non-case-1
+  // sources, and logged each decision.
+  const ParallelismPolicy& p = *adaptive.policy();
+  EXPECT_GT(p.decisions(Parallelism::kEdge) + p.decisions(Parallelism::kNode),
+            0u);
+  EXPECT_EQ(p.log().size(), p.decisions(Parallelism::kEdge) +
+                                p.decisions(Parallelism::kNode));
 }
 
 TEST(DynamicBcApi, InsertEdgesCountsApplied) {
@@ -163,15 +206,20 @@ TEST(DynamicBcApi, DeprecatedAliasesAndCtorStillWork) {
   static_assert(std::is_same_v<InsertOutcome, UpdateOutcome>);
   static_assert(std::is_same_v<BatchOutcome, UpdateOutcome>);
 
-  // The pre-Options constructor delegates to the Options form.
+  // The pre-Options constructor delegates to the Options form - both the
+  // short form and the full five-argument spelling.
   const auto g = test::gnp_graph(30, 0.1, 17);
   DynamicBc legacy(g, ApproxConfig{.num_sources = 8, .seed = 2},
                    EngineKind::kGpuEdge);
+  DynamicBc legacy_full(g, ApproxConfig{.num_sources = 8, .seed = 2},
+                        EngineKind::kGpuEdge, sim::DeviceSpec::tesla_c2075(),
+                        /*track_atomic_conflicts=*/true);
 #if defined(__GNUC__)
 #pragma GCC diagnostic pop
 #endif
   DynamicBc modern(g, {.engine = EngineKind::kGpuEdge,
                        .approx = {.num_sources = 8, .seed = 2}});
+  EXPECT_TRUE(legacy_full.options().track_atomic_conflicts);
   legacy.compute();
   modern.compute();
   EXPECT_EQ(legacy.engine(), EngineKind::kGpuEdge);

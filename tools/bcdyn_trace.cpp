@@ -24,10 +24,16 @@
 // racy fixture, and exits nonzero on any violation - a CI gate for the
 // whole observability layer.
 //
+// With --engine=gpu-adaptive the run plans every launch through the
+// adaptive parallelism policy; the report gains an "== adaptive policy =="
+// section (decision counts per launch kind, exploration probes, estimator
+// accuracy) and --decisions=PATH writes the replayable decision log, one
+// "seq kind source mode explored est_edge est_node" line per decision.
+//
 // Flags: --graph=small|caida|... --scale=F --seed=S --sources=K
-//        --engine=cpu|gpu-edge|gpu-node --devices=N --insertions=N --batch=B
-//        --threshold=F --conflicts=0|1 --hazard --out=P --metrics=P
-//        --selftest
+//        --engine=cpu|gpu-edge|gpu-node|gpu-adaptive --devices=N
+//        --insertions=N --batch=B --threshold=F --conflicts=0|1 --hazard
+//        --out=P --metrics=P --decisions=P --selftest
 
 #include <fstream>
 #include <iostream>
@@ -68,12 +74,15 @@ struct Options {
   bool hazard = false;  // strict shadow-memory hazard detection
   std::string out = "trace.json";
   std::string metrics_out = "metrics.json";
+  std::string decisions_out;  // gpu-adaptive: decision-log path ("" = off)
   bool selftest = false;
 };
 
 /// Runs the workload with tracing on and returns the number of applied
-/// insertions. The scenario is fully determined by `opt`.
-int run_scenario(const Options& opt) {
+/// insertions. The scenario is fully determined by `opt`. When the engine
+/// is gpu-adaptive and `decisions` is non-null, the policy's decision log
+/// is rendered into it (one record_line per decision).
+int run_scenario(const Options& opt, std::string* decisions = nullptr) {
   const gen::SuiteEntry entry =
       gen::build_suite_graph(opt.graph, opt.scale, opt.seed);
   const VertexId n = entry.graph.num_vertices();
@@ -107,6 +116,13 @@ int run_scenario(const Options& opt) {
                                       BatchConfig{.recompute_threshold =
                                                       opt.threshold})
                    .inserted;
+  }
+  if (decisions != nullptr && bc.policy() != nullptr) {
+    std::ostringstream s;
+    for (const auto& rec : bc.policy()->log()) {
+      s << ParallelismPolicy::record_line(rec) << "\n";
+    }
+    *decisions = s.str();
   }
   return applied;
 }
@@ -142,6 +158,11 @@ int selftest() {
   Options sharded = opt;
   sharded.devices = 2;
   run_scenario(sharded);
+  // And once through the adaptive engine, capturing its decision log.
+  Options adaptive = opt;
+  adaptive.engine = "gpu-adaptive";
+  std::string decisions;
+  run_scenario(adaptive, &decisions);
   tr.set_enabled(false);
 
   std::vector<std::string> problems = trace::validate_events(tr.events());
@@ -169,6 +190,31 @@ int selftest() {
   }
   if (trace::metrics().counter_value("sim.group.launches") == 0) {
     problems.push_back("no device-group launches recorded");
+  }
+
+  // --- adaptive policy: decisions logged, counters agree, report shows ---
+  const std::uint64_t n_decisions =
+      trace::metrics().counter_value("bc.adaptive.decisions.count");
+  if (n_decisions == 0) {
+    problems.push_back("adaptive: no decisions recorded");
+  }
+  if (trace::metrics().counter_value("bc.adaptive.edge.count") +
+          trace::metrics().counter_value("bc.adaptive.node.count") !=
+      n_decisions) {
+    problems.push_back("adaptive: edge+node counts do not sum to decisions");
+  }
+  std::size_t decision_lines = 0;
+  for (const char c : decisions) {
+    if (c == '\n') ++decision_lines;
+  }
+  if (decision_lines != n_decisions) {
+    problems.push_back("adaptive: decision log has " +
+                       std::to_string(decision_lines) + " lines, counters say " +
+                       std::to_string(n_decisions));
+  }
+  if (trace::report_string(tr, trace::metrics())
+          .find("== adaptive policy ==") == std::string::npos) {
+    problems.push_back("adaptive: report lacks the adaptive-policy section");
   }
 
   // --- hazard detector: shipped kernels clean, racy fixture fires ------
@@ -244,6 +290,7 @@ int main(int argc, char** argv) {
     opt.hazard = cli.get_bool("hazard", opt.hazard);
     opt.out = cli.get("out", opt.out);
     opt.metrics_out = cli.get("metrics", opt.metrics_out);
+    opt.decisions_out = cli.get("decisions", opt.decisions_out);
     for (const auto& key : cli.unused_keys()) {
       std::cerr << "warning: unrecognized flag --" << key << "\n";
     }
@@ -259,8 +306,10 @@ int main(int argc, char** argv) {
       sim::hazards().set_strict(true);
     }
     int applied = 0;
+    std::string decisions;
     try {
-      applied = run_scenario(opt);
+      applied = run_scenario(
+          opt, opt.decisions_out.empty() ? nullptr : &decisions);
     } catch (const sim::HazardError& e) {
       std::cerr << "bcdyn_trace: " << e.record().to_string() << "\n";
       return 1;
@@ -285,12 +334,20 @@ int main(int argc, char** argv) {
       std::ofstream f(opt.metrics_out);
       trace::metrics().write_json(f);
     }
+    if (!opt.decisions_out.empty()) {
+      std::ofstream f(opt.decisions_out);
+      f << decisions;
+    }
 
     std::cout << "bcdyn_trace: graph=" << opt.graph << " engine=" << opt.engine
               << " applied " << applied << " insertions, recorded "
               << tr.event_count() << " events\n"
               << "  chrome trace -> " << opt.out << "\n"
-              << "  metrics      -> " << opt.metrics_out << "\n\n";
+              << "  metrics      -> " << opt.metrics_out << "\n";
+    if (!opt.decisions_out.empty()) {
+      std::cout << "  decisions    -> " << opt.decisions_out << "\n";
+    }
+    std::cout << "\n";
     trace::write_report(tr.events(), trace::metrics(), std::cout);
     return problems.empty() ? 0 : 1;
   } catch (const std::exception& e) {
