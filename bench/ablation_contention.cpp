@@ -60,6 +60,18 @@ int main(int argc, char** argv) {
       // Serialization share of the summed per-block work cycles.
       const double penalty =
           total_cycles <= 0.0 ? 0.0 : conflict_cycles / total_cycles;
+      const std::string mode_key =
+          mode == Parallelism::kEdge ? "edge" : "node";
+      bench::record_result("ablation_contention", entry.name,
+                           mode_key + ".atomics",
+                           static_cast<double>(atomics));
+      bench::record_result("ablation_contention", entry.name,
+                           mode_key + ".conflicts",
+                           static_cast<double>(conflicts));
+      bench::record_result("ablation_contention", entry.name,
+                           mode_key + ".conflict_rate", rate);
+      bench::record_result("ablation_contention", entry.name,
+                           mode_key + ".work_penalty", penalty);
       table.add_row({first ? entry.name : "", to_string(mode),
                      std::to_string(atomics), std::to_string(conflicts),
                      util::Table::fmt(100.0 * rate, 2) + "%",
@@ -71,6 +83,7 @@ int main(int argc, char** argv) {
   analysis::print_header(
       "Ablation: same-address atomic conflicts, edge- vs node-parallel updates");
   analysis::emit_table(table, bench::csv_path(cfg, "ablation_contention"));
+  bench::emit_metrics(cfg);
   std::cout << "\nPaper claims (§I, §III): node-parallel has less "
                "contention over shared resources than edge-parallel, and "
                "the cross-block BC additions are effectively uncontended. "

@@ -41,6 +41,19 @@ int main(int argc, char** argv) {
     const double removed_share =
         100.0 * static_cast<double>(stats.removed) /
         static_cast<double>(entry.graph.num_vertices());
+    // Host wall-clock keys carry "wall" so the perf-regression baseline
+    // policy can exclude them (they are not deterministic across hosts).
+    bench::record_result("ablation_folding", entry.name, "removed_share",
+                         removed_share);
+    bench::record_result("ablation_folding", entry.name, "remaining_edges",
+                         static_cast<double>(stats.remaining_edges));
+    bench::record_result("ablation_folding", entry.name, "plain_wall_seconds",
+                         plain_s);
+    bench::record_result("ablation_folding", entry.name, "folded_wall_seconds",
+                         folded_s);
+    bench::record_result("ablation_folding", entry.name, "wall_speedup",
+                         plain_s / std::max(folded_s, 1e-9));
+    bench::record_result("ablation_folding", entry.name, "max_rel_diff", diff);
     table.add_row({entry.name,
                    util::Table::fmt(removed_share, 1) + "%",
                    std::to_string(stats.remaining_edges),
@@ -53,6 +66,7 @@ int main(int argc, char** argv) {
   analysis::print_header(
       "Ablation: degree-1 folding for static exact BC (Sariyuce et al.)");
   analysis::emit_table(table, bench::csv_path(cfg, "ablation_folding"));
+  bench::emit_metrics(cfg);
   std::cout << "\nExpectation: leaf-heavy classes (caida-like router graphs) "
                "fold the most and speed up accordingly; clique-heavy classes "
                "(coPap, kron cores) barely fold. Scores must match plain "

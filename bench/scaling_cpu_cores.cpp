@@ -68,6 +68,11 @@ int main(int argc, char** argv) {
         before = after;
       }
       if (base == 0.0) base = makespan;
+      const std::string lane_key = "lanes" + std::to_string(lanes);
+      bench::record_result("scaling_cpu_cores", entry.name,
+                           lane_key + ".makespan_seconds", makespan);
+      bench::record_result("scaling_cpu_cores", entry.name,
+                           lane_key + ".speedup", base / makespan);
       row.push_back(util::Table::fmt_speedup(base / makespan));
       std::cerr << "  " << entry.name << " " << lanes
                 << " lanes: " << util::Table::fmt(makespan, 5) << "s\n";
@@ -79,6 +84,7 @@ int main(int argc, char** argv) {
       "Extension: multi-core CPU strong scaling (modeled lane makespan, "
       "speedup vs 1 lane)");
   analysis::emit_table(table, bench::csv_path(cfg, "scaling_cpu_cores"));
+  bench::emit_metrics(cfg);
   std::cout << "\nExpected: near-linear while every lane gets several "
                "work-requiring sources; sub-linear beyond that as the "
                "slowest chunk dominates (source-level load imbalance).\n";

@@ -40,6 +40,11 @@ int main(int argc, char** argv) {
       const auto run = analysis::run_gpu_dynamic(stream, approx,
                                                  Parallelism::kNode, spec);
       if (base == 0.0) base = run.modeled_seconds;
+      const std::string sm_key = "sm" + std::to_string(sms);
+      bench::record_result("scaling_sm_count", entry.name,
+                           sm_key + ".modeled_seconds", run.modeled_seconds);
+      bench::record_result("scaling_sm_count", entry.name,
+                           sm_key + ".speedup", base / run.modeled_seconds);
       row.push_back(util::Table::fmt_speedup(base / run.modeled_seconds));
       std::cerr << "  " << entry.name << " " << sms
                 << " SMs: " << util::Table::fmt(run.modeled_seconds, 5)
@@ -52,6 +57,7 @@ int main(int argc, char** argv) {
       "Extension: strong scaling of dynamic updates with SM count "
       "(speedup vs fewest SMs)");
   analysis::emit_table(table, bench::csv_path(cfg, "scaling_sm_count"));
+  bench::emit_metrics(cfg);
   std::cout << "\nExpected: near-linear until #SMs approaches the number of "
                "work-requiring sources per insertion, then saturating at "
                "the per-insertion critical path (slowest single source).\n";

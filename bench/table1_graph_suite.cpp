@@ -46,6 +46,15 @@ int main(int argc, char** argv) {
   for (const auto& entry : graphs) {
     const auto s = compute_stats(entry.graph);
     const PaperRow* paper = paper_row(entry.name);
+    bench::record_result("table1", entry.name, "vertices",
+                         static_cast<double>(s.num_vertices));
+    bench::record_result("table1", entry.name, "edges",
+                         static_cast<double>(s.num_edges));
+    bench::record_result("table1", entry.name, "avg_degree", s.avg_degree);
+    bench::record_result("table1", entry.name, "max_degree",
+                         static_cast<double>(s.max_degree));
+    bench::record_result("table1", entry.name, "approx_diameter",
+                         static_cast<double>(s.approx_diameter));
     table.add_row({entry.name,
                    paper != nullptr ? paper->significance : "(file)",
                    paper != nullptr ? std::to_string(paper->vertices) : "-",
@@ -58,6 +67,7 @@ int main(int argc, char** argv) {
   }
   analysis::print_header("Table I: suite of benchmark graphs (paper vs ours)");
   analysis::emit_table(table, bench::csv_path(cfg, "table1_graph_suite"));
+  bench::emit_metrics(cfg);
   std::cout << "\nScale the stand-ins with --scale (paper sizes need "
                "--scale >= 8 and correspondingly long runs), or pass real "
                "DIMACS-10 downloads via --graph-file.\n";

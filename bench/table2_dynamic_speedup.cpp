@@ -56,6 +56,14 @@ int main(int argc, char** argv) {
     geo_edge += std::log(edge_speedup);
     geo_node += std::log(node_speedup);
     ++count;
+    bench::record_result("table2", entry.name, "cpu_seconds",
+                         cpu.modeled_seconds);
+    bench::record_result("table2", entry.name, "edge_seconds",
+                         edge.modeled_seconds);
+    bench::record_result("table2", entry.name, "node_seconds",
+                         node.modeled_seconds);
+    bench::record_result("table2", entry.name, "edge_speedup", edge_speedup);
+    bench::record_result("table2", entry.name, "node_speedup", node_speedup);
     table.add_row({entry.name, util::Table::fmt(cpu.modeled_seconds, 4),
                    "Edge", util::Table::fmt(edge.modeled_seconds, 4),
                    util::Table::fmt_speedup(edge_speedup)});
@@ -67,11 +75,16 @@ int main(int argc, char** argv) {
       "Table II: dynamic CPU vs dynamic GPU (edge / node parallel)");
   analysis::emit_table(table, bench::csv_path(cfg, "table2_dynamic_speedup"));
   if (count > 0) {
+    bench::record_result("table2", "all", "geomean_edge_speedup",
+                         std::exp(geo_edge / count));
+    bench::record_result("table2", "all", "geomean_node_speedup",
+                         std::exp(geo_node / count));
     std::cout << "\nGeometric-mean speedup over CPU: edge "
               << util::Table::fmt_speedup(std::exp(geo_edge / count))
               << ", node "
               << util::Table::fmt_speedup(std::exp(geo_node / count)) << "\n";
   }
+  bench::emit_metrics(cfg);
   std::cout << "Paper shape: node >> edge >> 1x; edge collapses toward ~1x "
                "on del/kron, node reaches 20-110x.\n";
   return 0;

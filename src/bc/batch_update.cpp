@@ -10,6 +10,7 @@
 #include "bc/dynamic_cpu_parallel.hpp"
 #include "bc/dynamic_gpu.hpp"
 #include "gpusim/cost_model.hpp"
+#include "trace/telemetry.hpp"
 #include "trace/trace.hpp"
 #include "util/stopwatch.hpp"
 
@@ -317,6 +318,7 @@ UpdateOutcome DynamicBc::insert_edge_batch(
     outcome.max_touched = std::max(outcome.max_touched, o.touched_total);
   }
   outcome.update_wall_seconds = clock.elapsed_s();
+  record_telemetry(trace::UpdateKind::kBatch, outcome);
   return outcome;
 }
 

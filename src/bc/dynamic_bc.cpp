@@ -5,6 +5,7 @@
 
 #include "bc/brandes.hpp"
 #include "gpusim/cost_model.hpp"
+#include "trace/telemetry.hpp"
 #include "trace/trace.hpp"
 #include "util/stopwatch.hpp"
 
@@ -128,6 +129,28 @@ int DynamicBc::num_devices() const {
   return sharded_ ? sharded_->num_devices() : 1;
 }
 
+void DynamicBc::record_telemetry(trace::UpdateKind kind,
+                                 const UpdateOutcome& outcome) const {
+  auto& stream = trace::telemetry();
+  if (!stream.enabled()) return;
+  trace::UpdateSample sample;
+  sample.kind = kind;
+  sample.engine = to_string(options_.engine);
+  sample.devices = num_devices();
+  sample.case1 = outcome.case1;
+  sample.case2 = outcome.case2;
+  sample.case3 = outcome.case3;
+  sample.recomputed_sources = outcome.recomputed_sources;
+  sample.touched_fraction =
+      csr_.num_vertices() > 0
+          ? static_cast<double>(outcome.max_touched) /
+                static_cast<double>(csr_.num_vertices())
+          : 0.0;
+  sample.modeled_seconds = outcome.modeled_seconds;
+  sample.wall_seconds = outcome.update_wall_seconds;
+  stream.record(sample);
+}
+
 double DynamicBc::compute() {
   trace::Span span("bc.compute", "bc",
                    {{"n", static_cast<double>(csr_.num_vertices())},
@@ -166,6 +189,7 @@ UpdateOutcome DynamicBc::insert_edge(VertexId u, VertexId v) {
   outcome.inserted = 1;
   outcome.structure_wall_seconds = structure_clock.elapsed_s() -
                                    outcome.update_wall_seconds;
+  record_telemetry(trace::UpdateKind::kInsert, outcome);
   return outcome;
 }
 
@@ -280,6 +304,7 @@ UpdateOutcome DynamicBc::remove_edge(VertexId u, VertexId v) {
   }
   outcome.inserted = 1;
   outcome.update_wall_seconds = clock.elapsed_s();
+  record_telemetry(trace::UpdateKind::kRemove, outcome);
   return outcome;
 }
 

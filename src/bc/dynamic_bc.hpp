@@ -37,6 +37,10 @@
 
 namespace bcdyn {
 
+namespace trace {
+enum class UpdateKind;  // trace/telemetry.hpp
+}
+
 // Batch-update config (bc/batch_update.hpp).
 struct BatchConfig;
 
@@ -150,6 +154,13 @@ class DynamicBc {
  private:
   UpdateOutcome run_update(VertexId u, VertexId v);
   double recompute();
+  /// Folds a finished update into the opt-in stream telemetry
+  /// (trace/telemetry.hpp). Every update path - single insert, removal,
+  /// batch - reports through this one hook at the UpdateOutcome layer, so
+  /// all engines (CPU, GPU variants, sharded) inherit the attribution.
+  /// No-op while telemetry is disabled.
+  void record_telemetry(trace::UpdateKind kind,
+                        const UpdateOutcome& outcome) const;
 
   DynamicGraph dyn_;
   CSRGraph csr_;

@@ -62,6 +62,27 @@ std::string json_quote(const std::string& s) {
 
 }  // namespace
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets[b];
+    if (static_cast<double>(seen) >= target) {
+      const double lo = b == 0 ? 0.0 : std::exp2(static_cast<double>(b) - 1.0);
+      const double hi = std::exp2(static_cast<double>(b));  // b=0 -> [0, 1)
+      const double f = (target - before) / static_cast<double>(buckets[b]);
+      return std::clamp(lo + f * (hi - lo), min, max);
+    }
+  }
+  return max;
+}
+
 MetricsRegistry& metrics() {
   static MetricsRegistry m;
   return m;

@@ -42,6 +42,17 @@ struct HistogramSnapshot {
   std::array<std::uint64_t, kBuckets> buckets{};
 
   double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  /// Interpolated quantile estimate from the log2 buckets: the samples of
+  /// the bucket containing rank q*count are assumed uniformly spread over
+  /// the bucket's value range [2^(i-1), 2^i), and the result is clamped to
+  /// the observed [min, max]. The estimate is exact at q=0 and q=1 and
+  /// otherwise lands inside the true sample's bucket, so the relative
+  /// error is bounded by the bucket width (< 2x), and much tighter when
+  /// the bucket is well-populated. The canonical helper for deriving
+  /// percentiles from a snapshot - callers must not re-derive from raw
+  /// buckets. `q` is clamped to [0, 1]; returns 0 when empty.
+  double quantile(double q) const;
 };
 
 class MetricsRegistry {

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <vector>
 
+#include "trace/telemetry.hpp"
 #include "trace/validate.hpp"
 
 namespace bcdyn::trace {
@@ -280,11 +281,52 @@ void write_report(const std::vector<TraceEvent>& events,
     }
   }
 
+  // --- stream telemetry (opt-in windowed latency monitor) ------------
+  // Reads the process-wide trace::telemetry() singleton (like the hazard
+  // section, absent unless the layer ran: a disabled run has zero updates
+  // and the report is byte-identical to a plain one).
+  const TelemetrySnapshot tel = telemetry().snapshot();
+  if (tel.updates > 0) {
+    out << "\n== stream telemetry ==\n";
+    out << "  " << tel.updates << " updates, window " << tel.config.window
+        << " (sequence-numbered); " << tel.spikes << " latency spikes (> "
+        << fmt("%.1f", tel.config.spike_factor) << "x running median), "
+        << tel.slo_breaches << " SLO breaches\n";
+    if (tel.config.slo_p99_seconds > 0.0) {
+      out << "  SLO: windowed p99 <= "
+          << fmt("%.3g", tel.config.slo_p99_seconds * 1e6) << " us -> "
+          << (tel.slo_violated ? "VIOLATED" : "ok") << "\n";
+    }
+    out << "  series                 n(win)       p50_us       p90_us"
+           "       p99_us       max_us\n";
+    rule(out);
+    for (const auto& [key, s] : tel.series) {
+      if (s.window_count == 0) continue;
+      char line[200];
+      std::snprintf(line, sizeof(line),
+                    "  %-20s %8llu %12.2f %12.2f %12.2f %12.2f\n",
+                    key.c_str(),
+                    static_cast<unsigned long long>(s.window_count),
+                    s.p50 * 1e6, s.p90 * 1e6, s.p99 * 1e6, s.max * 1e6);
+      out << line;
+    }
+    const auto& cum = tel.series.count("all")
+                          ? tel.series.at("all").cumulative_us
+                          : HistogramSnapshot{};
+    if (cum.count > 0) {
+      out << "  cumulative (all-time): mean " << fmt("%.2f", cum.mean())
+          << " us, ~p99 " << fmt("%.2f", cum.quantile(0.99)) << " us, max "
+          << fmt("%.2f", cum.max) << " us over " << cum.count << " updates\n";
+    }
+  }
+
   // --- frontier sizes (only populated in traced runs) ----------------
   const auto frontier = registry.histogram("bc.frontier_size");
   if (frontier.count > 0) {
     out << "\n== BFS frontier sizes ==\n  " << frontier.count
-        << " levels, mean " << fmt("%.1f", frontier.mean()) << ", max "
+        << " levels, mean " << fmt("%.1f", frontier.mean()) << ", ~p50 "
+        << fmt("%.1f", frontier.quantile(0.5)) << ", ~p99 "
+        << fmt("%.1f", frontier.quantile(0.99)) << ", max "
         << fmt("%.0f", frontier.max) << "; log2 buckets:";
     std::size_t top = 0;
     for (std::size_t i = 0; i < frontier.buckets.size(); ++i) {

@@ -262,6 +262,116 @@ TEST_F(TraceTest, JsonParserRejectsMalformedInput) {
   EXPECT_TRUE(trace::parse_json("{\"a\": [1, -2.5e3, null, true]}").ok);
 }
 
+TEST_F(TraceTest, JsonParserRejectsTruncatedInput) {
+  // Every prefix of a valid document must fail, not silently succeed.
+  const std::string doc = "{\"series\": {\"all\": [1.5, true, \"x\"]}}";
+  ASSERT_TRUE(trace::parse_json(doc).ok);
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    EXPECT_FALSE(trace::parse_json(doc.substr(0, len)).ok)
+        << "prefix of length " << len << " parsed";
+  }
+}
+
+TEST_F(TraceTest, JsonParserRejectsBadEscapes) {
+  EXPECT_FALSE(trace::parse_json("{\"a\": \"\\q\"}").ok);      // unknown escape
+  EXPECT_FALSE(trace::parse_json("{\"a\": \"\\u12\"}").ok);    // short \u
+  EXPECT_FALSE(trace::parse_json("{\"a\": \"\\u12G4\"}").ok);  // bad hex digit
+  EXPECT_FALSE(trace::parse_json("{\"a\": \"\\\"}").ok);       // escaped close
+  EXPECT_FALSE(trace::parse_json("{\"a\": \"no end").ok);      // unterminated
+  std::string ctrl = "{\"a\": \"x\"}";
+  ctrl[7] = '\n';  // raw control character inside a string
+  EXPECT_FALSE(trace::parse_json(ctrl).ok);
+  const auto ok = trace::parse_json("{\"a\": \"q\\\"\\\\\\n\\t\\u0041\"}");
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(ok.value.find("a")->str, "q\"\\\n\tA");
+}
+
+TEST_F(TraceTest, JsonParserRejectsDuplicateKeys) {
+  const auto dup = trace::parse_json("{\"a\": 1, \"a\": 2}");
+  ASSERT_FALSE(dup.ok);
+  EXPECT_NE(dup.error.find("duplicate"), std::string::npos) << dup.error;
+  // Duplicates nested below the top level are caught too.
+  EXPECT_FALSE(trace::parse_json("{\"o\": {\"k\": 1, \"k\": 1}}").ok);
+  EXPECT_TRUE(trace::parse_json("{\"a\": {\"a\": 1}}").ok);  // nesting != dup
+}
+
+TEST_F(TraceTest, HistogramQuantileInterpolatesWithinBounds) {
+  // All-equal samples: every quantile collapses to the value exactly
+  // (the clamp to [min, max] pins it).
+  trace::MetricsRegistry reg;
+  for (int i = 0; i < 100; ++i) reg.observe("flat", 5.0);
+  const auto flat = reg.histogram("flat");
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(flat.quantile(q), 5.0) << "q=" << q;
+  }
+
+  // Uniform 1..1024: exact at the ends, and mid quantiles must land within
+  // the true value's log2 bucket, i.e. within a factor of 2 (the documented
+  // bound); uniform occupancy makes the interpolation much tighter - pin
+  // 25% relative error.
+  for (int i = 1; i <= 1024; ++i) {
+    reg.observe("uniform", static_cast<double>(i));
+  }
+  const auto uni = reg.histogram("uniform");
+  EXPECT_DOUBLE_EQ(uni.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(uni.quantile(1.0), 1024.0);
+  for (double q : {0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double exact = q * 1024.0;  // true quantile of the uniform ramp
+    const double est = uni.quantile(q);
+    EXPECT_GT(est, exact / 2.0) << "q=" << q;
+    EXPECT_LT(est, exact * 2.0) << "q=" << q;
+    EXPECT_NEAR(est, exact, 0.25 * exact) << "q=" << q;
+  }
+
+  // Quantiles never decrease in q and stay inside [min, max].
+  double prev = uni.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = uni.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    EXPECT_GE(cur, uni.min);
+    EXPECT_LE(cur, uni.max);
+    prev = cur;
+  }
+
+  // Empty histogram and out-of-range q are total.
+  const trace::HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(uni.quantile(-3.0), uni.quantile(0.0));
+  EXPECT_DOUBLE_EQ(uni.quantile(7.0), uni.quantile(1.0));
+}
+
+TEST_F(TraceTest, HistogramSnapshotRoundTripsThroughMetricsJson) {
+  trace::MetricsRegistry reg;
+  const std::vector<double> samples{0.25, 1.0, 3.5, 3.6, 100.0, 1e6};
+  for (double v : samples) reg.observe("lat", v);
+  const auto before = reg.histogram("lat");
+
+  std::ostringstream out;
+  reg.write_json(out);
+  const auto parsed = trace::parse_json(out.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto* hist = parsed.value.find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const auto* lat = hist->find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->find("count")->number,
+                   static_cast<double>(before.count));
+  EXPECT_DOUBLE_EQ(lat->find("sum")->number, before.sum);
+  EXPECT_DOUBLE_EQ(lat->find("min")->number, before.min);
+  EXPECT_DOUBLE_EQ(lat->find("max")->number, before.max);
+  const auto* buckets = lat->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  std::uint64_t exported = 0;
+  for (std::size_t i = 0; i < buckets->array.size(); ++i) {
+    ASSERT_LT(i, before.buckets.size());
+    EXPECT_DOUBLE_EQ(buckets->array[i].number,
+                     static_cast<double>(before.buckets[i]));
+    exported += static_cast<std::uint64_t>(buckets->array[i].number);
+  }
+  EXPECT_EQ(exported, before.count);  // trailing zero buckets are elided
+}
+
 TEST_F(TraceTest, HistogramBucketsAreLog2) {
   trace::MetricsRegistry reg;
   reg.observe("h", 0.5);   // bucket 0: < 1

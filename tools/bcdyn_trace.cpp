@@ -30,9 +30,19 @@
 // accuracy) and --decisions=PATH writes the replayable decision log, one
 // "seq kind source mode explored est_edge est_node" line per decision.
 //
+// --telemetry=PATH turns on the stream-telemetry layer for the run:
+// every update is attributed into sequence-numbered sliding-window latency
+// percentiles (--window=W), anomalies (> --spike-factor x running median)
+// and windowed-p99 SLO breaches (--slo-p99=S, seconds) are flagged, the
+// report gains a "== stream telemetry ==" section, and PATH receives the
+// stable-key JSON snapshot. --telemetry-events=P streams one JSONL record
+// per flagged update; --telemetry-prom=P writes Prometheus exposition.
+//
 // Flags: --graph=small|caida|... --scale=F --seed=S --sources=K
 //        --engine=cpu|gpu-edge|gpu-node|gpu-adaptive --devices=N
 //        --insertions=N --batch=B --threshold=F --conflicts=0|1 --hazard
+//        --telemetry=P --telemetry-events=P --telemetry-prom=P
+//        --window=W --slo-p99=S --spike-factor=K
 //        --out=P --metrics=P --decisions=P --selftest
 
 #include <fstream>
@@ -51,6 +61,7 @@
 #include "trace/json.hpp"
 #include "trace/metrics.hpp"
 #include "trace/report.hpp"
+#include "trace/telemetry.hpp"
 #include "trace/trace.hpp"
 #include "trace/validate.hpp"
 #include "util/cli.hpp"
@@ -75,6 +86,12 @@ struct Options {
   std::string out = "trace.json";
   std::string metrics_out = "metrics.json";
   std::string decisions_out;  // gpu-adaptive: decision-log path ("" = off)
+  std::string telemetry_out;  // stream telemetry snapshot ("" = layer off)
+  std::string telemetry_events_out;  // JSONL per flagged update
+  std::string telemetry_prom_out;    // Prometheus text exposition
+  std::size_t window = 256;          // telemetry sliding-window width
+  double slo_p99 = 0.0;              // windowed-p99 budget, seconds (0=off)
+  double spike_factor = 8.0;         // anomaly gate vs running median
   bool selftest = false;
 };
 
@@ -260,6 +277,70 @@ int selftest() {
         "hazard: racy fixture did not raise an attributable HazardError");
   }
 
+  // --- stream telemetry: windows fill, exporters parse, section shows --
+  auto& tel = trace::telemetry();
+  tel.configure({.window = 64,
+                 .slo_p99_seconds = 1e-12,  // unmeetable: must breach
+                 .spike_factor = 4.0,
+                 .min_history = 4});
+  tel.set_enabled(true);
+  run_scenario(opt);
+  tel.set_enabled(false);
+  const trace::TelemetrySnapshot tsnap = tel.snapshot();
+  if (tsnap.updates == 0) {
+    problems.push_back("telemetry: no updates recorded");
+  }
+  if (trace::metrics().counter_value("bc.telemetry.updates.count") !=
+      tsnap.updates) {
+    problems.push_back("telemetry: updates counter disagrees with snapshot");
+  }
+  const auto all_it = tsnap.series.find("all");
+  if (all_it == tsnap.series.end()) {
+    problems.push_back("telemetry: snapshot lacks the 'all' series");
+  } else {
+    const auto& s = all_it->second;
+    if (!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max)) {
+      problems.push_back("telemetry: window quantiles are not monotone");
+    }
+  }
+  if (tsnap.slo_breaches == 0) {
+    problems.push_back("telemetry: unmeetable SLO produced no breaches");
+  }
+  for (const auto& ev : tel.events()) {
+    if (!trace::parse_json(ev.to_jsonl()).ok) {
+      problems.push_back("telemetry: anomaly JSONL record is not valid JSON");
+      break;
+    }
+  }
+  {
+    std::ostringstream snap_json;
+    tel.write_json_snapshot(snap_json);
+    const auto parsed = trace::parse_json(snap_json.str());
+    if (!parsed.ok) {
+      problems.push_back("telemetry: snapshot is not valid JSON: " +
+                         parsed.error);
+    } else if (parsed.value.find("series") == nullptr) {
+      problems.push_back("telemetry: snapshot lacks a series object");
+    }
+    std::ostringstream prom;
+    tel.write_prometheus(prom);
+    if (prom.str().find("bcdyn_telemetry_updates_total") ==
+        std::string::npos) {
+      problems.push_back("telemetry: Prometheus exposition lacks the "
+                         "updates counter");
+    }
+  }
+  if (trace::report_string(tr, trace::metrics())
+          .find("== stream telemetry ==") == std::string::npos) {
+    problems.push_back("telemetry: report lacks the stream-telemetry section");
+  }
+  // Disabled layer must observe nothing (the bit-identical guarantee).
+  tel.clear();
+  run_scenario(opt);
+  if (tel.total_updates() != 0) {
+    problems.push_back("telemetry: disabled layer still recorded updates");
+  }
+
   if (!problems.empty()) {
     for (const auto& p : problems) std::cerr << "selftest: " << p << "\n";
     return 1;
@@ -291,6 +372,14 @@ int main(int argc, char** argv) {
     opt.out = cli.get("out", opt.out);
     opt.metrics_out = cli.get("metrics", opt.metrics_out);
     opt.decisions_out = cli.get("decisions", opt.decisions_out);
+    opt.telemetry_out = cli.get("telemetry", opt.telemetry_out);
+    opt.telemetry_events_out =
+        cli.get("telemetry-events", opt.telemetry_events_out);
+    opt.telemetry_prom_out = cli.get("telemetry-prom", opt.telemetry_prom_out);
+    opt.window = static_cast<std::size_t>(
+        cli.get_int("window", static_cast<std::int64_t>(opt.window)));
+    opt.slo_p99 = cli.get_double("slo-p99", opt.slo_p99);
+    opt.spike_factor = cli.get_double("spike-factor", opt.spike_factor);
     for (const auto& key : cli.unused_keys()) {
       std::cerr << "warning: unrecognized flag --" << key << "\n";
     }
@@ -305,6 +394,18 @@ int main(int argc, char** argv) {
       sim::hazards().set_enabled(true);
       sim::hazards().set_strict(true);
     }
+    const bool telemetry_on = !opt.telemetry_out.empty();
+    std::ofstream events_file;
+    if (telemetry_on) {
+      trace::telemetry().configure({.window = opt.window,
+                                    .slo_p99_seconds = opt.slo_p99,
+                                    .spike_factor = opt.spike_factor});
+      if (!opt.telemetry_events_out.empty()) {
+        events_file.open(opt.telemetry_events_out);
+        trace::telemetry().set_event_sink(&events_file);
+      }
+      trace::telemetry().set_enabled(true);
+    }
     int applied = 0;
     std::string decisions;
     try {
@@ -318,6 +419,12 @@ int main(int argc, char** argv) {
     if (opt.hazard) {
       sim::hazards().set_strict(false);
       sim::hazards().set_enabled(false);
+    }
+    if (telemetry_on) {
+      trace::telemetry().set_enabled(false);
+      trace::telemetry().set_event_sink(nullptr);
+      // Windowed percentiles join the metrics JSON as bc.telemetry.* gauges.
+      trace::telemetry().publish_gauges(trace::metrics());
     }
 
     const std::vector<std::string> problems =
@@ -338,6 +445,14 @@ int main(int argc, char** argv) {
       std::ofstream f(opt.decisions_out);
       f << decisions;
     }
+    if (telemetry_on) {
+      std::ofstream f(opt.telemetry_out);
+      trace::telemetry().write_json_snapshot(f);
+      if (!opt.telemetry_prom_out.empty()) {
+        std::ofstream p(opt.telemetry_prom_out);
+        trace::telemetry().write_prometheus(p);
+      }
+    }
 
     std::cout << "bcdyn_trace: graph=" << opt.graph << " engine=" << opt.engine
               << " applied " << applied << " insertions, recorded "
@@ -346,6 +461,15 @@ int main(int argc, char** argv) {
               << "  metrics      -> " << opt.metrics_out << "\n";
     if (!opt.decisions_out.empty()) {
       std::cout << "  decisions    -> " << opt.decisions_out << "\n";
+    }
+    if (telemetry_on) {
+      std::cout << "  telemetry    -> " << opt.telemetry_out << "\n";
+      if (!opt.telemetry_events_out.empty()) {
+        std::cout << "  events jsonl -> " << opt.telemetry_events_out << "\n";
+      }
+      if (!opt.telemetry_prom_out.empty()) {
+        std::cout << "  prometheus   -> " << opt.telemetry_prom_out << "\n";
+      }
     }
     std::cout << "\n";
     trace::write_report(tr.events(), trace::metrics(), std::cout);
