@@ -50,16 +50,26 @@ struct CommonConfig {
 
 inline CommonConfig parse_common(const util::Cli& cli) {
   CommonConfig cfg;
-  cfg.smoke = cli.get_bool("smoke", false);
-  cfg.scale = cli.get_double("scale", cfg.scale);
-  cfg.graph_file = cli.get("graph-file", "");
-  cfg.insertions = static_cast<int>(cli.get_int("insertions", cfg.insertions));
-  cfg.sources = static_cast<int>(cli.get_int("sources", cfg.sources));
-  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
-  cfg.csv_dir = cli.get("csv", "");
-  cfg.metrics_path = cli.get("metrics", "");
-  cfg.verify = cli.get_bool("verify", false);
-  const std::string graphs = cli.get("graphs", "");
+  cfg.smoke = cli.get_bool("smoke", false,
+                           "CI smoke mode: tiny graph, minimal reps");
+  cfg.scale = cli.get_double("scale", cfg.scale,
+                             "suite size multiplier (1.0 = DESIGN.md §5)");
+  cfg.graph_file =
+      cli.get("graph-file", "", "real graph file (METIS/edge list)");
+  cfg.insertions = static_cast<int>(
+      cli.get_int("insertions", cfg.insertions,
+                  "edges removed + re-inserted (paper: 100)"));
+  cfg.sources = static_cast<int>(cli.get_int(
+      "sources", cfg.sources, "BC approximation sources (paper: 256)"));
+  cfg.seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 7, "master RNG seed"));
+  cfg.csv_dir = cli.get("csv", "", "also write CSV outputs into this dir");
+  cfg.metrics_path =
+      cli.get("metrics", "", "write bench results as metrics JSON here");
+  cfg.verify = cli.get_bool("verify", false,
+                            "cross-check engines' final scores");
+  const std::string graphs = cli.get(
+      "graphs", "", "comma-separated suite subset (default: all)");
   if (cfg.smoke) {
     // One rep of everything on one tiny graph; explicit --graphs/--scale
     // still win so a fast run can target another suite entry.
@@ -115,6 +125,16 @@ inline void print_graph_summary(const std::vector<gen::SuiteEntry>& graphs) {
   }
   analysis::print_header("Benchmark graphs (paper Table I analogue)");
   t.print(std::cout);
+}
+
+/// Handles --help for a bench: prints the registered flag table (call this
+/// AFTER parse_common and the bench's own getters so every flag is listed)
+/// and returns true when the bench should exit 0.
+inline bool handle_help(const util::Cli& cli, const std::string& bench,
+                        const std::string& summary) {
+  if (!cli.help_requested()) return false;
+  cli.print_help(bench, summary, std::cout);
+  return true;
 }
 
 inline void warn_unused(const util::Cli& cli) {

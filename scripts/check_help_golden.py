@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Guards the CLI --help contract: tool output vs a committed golden file.
+
+Every tool, example, and bench front-end parses its flags through
+util::Cli, which collects each flag's default and help string at
+registration time and renders them with print_help(). That makes the
+--help text a cheap, byte-stable snapshot of the tool's public flag
+surface: a renamed flag, a changed default, or a dropped help string all
+show up as a diff. This script runs `<binary> --help`, compares the
+output byte-for-byte against the committed golden under tests/golden/,
+and prints a unified diff on mismatch.
+
+Registered as ctests (label `cli`) for bcdyn_trace, bcdyn_monitor,
+social_stream, and pipeline_overlap, so a flag-surface change fails the
+default test run until the golden is updated deliberately:
+
+    python3 scripts/check_help_golden.py --binary build/tools/bcdyn_trace \
+        --golden tests/golden/bcdyn_trace_help.txt --update
+"""
+
+import argparse
+import difflib
+import subprocess
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True,
+                        help="tool binary to run with --help")
+    parser.add_argument("--golden", required=True,
+                        help="committed golden help text")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the golden from the binary's current "
+                             "output instead of checking against it")
+    args = parser.parse_args()
+
+    proc = subprocess.run([args.binary, "--help"], capture_output=True,
+                          text=True, timeout=120)
+    if proc.returncode != 0:
+        print(f"error: {args.binary} --help exited {proc.returncode}:\n"
+              f"{proc.stderr}", file=sys.stderr)
+        return 1
+    actual = proc.stdout
+
+    if args.update:
+        with open(args.golden, "w") as f:
+            f.write(actual)
+        print(f"golden updated: {args.golden}")
+        return 0
+
+    try:
+        with open(args.golden) as f:
+            expected = f.read()
+    except OSError as e:
+        print(f"error: cannot read golden ({e}); generate it with --update",
+              file=sys.stderr)
+        return 1
+
+    if actual == expected:
+        print(f"ok: {args.binary} --help matches {args.golden}")
+        return 0
+
+    diff = difflib.unified_diff(expected.splitlines(keepends=True),
+                                actual.splitlines(keepends=True),
+                                fromfile=args.golden,
+                                tofile=f"{args.binary} --help")
+    sys.stderr.writelines(diff)
+    print(f"error: --help output changed (flag surface is an API; update "
+          f"the golden deliberately with --update)", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

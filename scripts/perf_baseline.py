@@ -43,6 +43,7 @@ DEFAULT_BENCHES = [
     "ablation_adaptive",
     "bench_batch_update",
     "fig1_thread_blocks",
+    "pipeline_overlap",
     "scaling_device_count",
     "table2_dynamic_speedup",
     "table3_update_vs_recompute",

@@ -257,18 +257,10 @@ GpuBatchResult DynamicGpuBc::insert_edge_batch(const BatchSnapshots& batch,
   return result;
 }
 
-UpdateOutcome DynamicBc::insert_edge_batch(
+BatchSnapshots DynamicBc::stage_batch(
     std::span<const std::pair<VertexId, VertexId>> edges,
-    const BatchConfig& config) {
-  if (!computed_) {
-    throw std::logic_error(
-        "DynamicBc::compute() must run before insert_edge_batch");
-  }
-  trace::Span span("bc.insert_edge_batch", "bc",
-                   {{"edges", static_cast<double>(edges.size())},
-                    {"threshold", config.recompute_threshold}});
+    UpdateOutcome& outcome) {
   util::Stopwatch structure_clock;
-  UpdateOutcome outcome;
   std::vector<std::pair<VertexId, VertexId>> accepted;
   accepted.reserve(edges.size());
   for (const auto& [u, v] : edges) {
@@ -281,14 +273,19 @@ UpdateOutcome DynamicBc::insert_edge_batch(
   outcome.inserted = static_cast<int>(accepted.size());
   if (accepted.empty()) {
     outcome.structure_wall_seconds = structure_clock.elapsed_s();
-    return outcome;
+    return {};
   }
   // `accepted` holds exactly the edges dyn_ admitted against the same base
   // graph, so the snapshot builder rejects none of them.
-  const BatchSnapshots batch = build_batch_snapshots(csr_, accepted);
+  BatchSnapshots batch = build_batch_snapshots(csr_, accepted);
   csr_ = batch.final_graph();
   outcome.structure_wall_seconds = structure_clock.elapsed_s();
+  return batch;
+}
 
+void DynamicBc::run_batch_kernels(const BatchSnapshots& batch,
+                                  const BatchConfig& config,
+                                  UpdateOutcome& outcome) {
   util::Stopwatch clock;
   std::span<const SourceBatchOutcome> per_source;
   CpuBatchResult cpu_result;
@@ -318,6 +315,22 @@ UpdateOutcome DynamicBc::insert_edge_batch(
     outcome.max_touched = std::max(outcome.max_touched, o.touched_total);
   }
   outcome.update_wall_seconds = clock.elapsed_s();
+}
+
+UpdateOutcome DynamicBc::insert_edge_batch(
+    std::span<const std::pair<VertexId, VertexId>> edges,
+    const BatchConfig& config) {
+  if (!computed_) {
+    throw std::logic_error(
+        "DynamicBc::compute() must run before insert_edge_batch");
+  }
+  trace::Span span("bc.insert_edge_batch", "bc",
+                   {{"edges", static_cast<double>(edges.size())},
+                    {"threshold", config.recompute_threshold}});
+  UpdateOutcome outcome;
+  const BatchSnapshots batch = stage_batch(edges, outcome);
+  if (batch.empty()) return outcome;
+  run_batch_kernels(batch, config, outcome);
   record_telemetry(trace::UpdateKind::kBatch, outcome);
   return outcome;
 }

@@ -94,8 +94,7 @@ CpuBatchResult batch_insert_update(DynamicCpuEngine& engine,
                                    const BatchConfig& config = {});
 
 // DynamicBc::insert_edge_batch reports its aggregate as an UpdateOutcome
-// (bc/update_outcome.hpp); the BatchOutcome name survives as a deprecated
-// alias there.
+// (bc/update_outcome.hpp).
 
 namespace detail {
 

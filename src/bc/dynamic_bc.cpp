@@ -111,20 +111,6 @@ DynamicBc::DynamicBc(const CSRGraph& g, const Options& options)
   }
 }
 
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-DynamicBc::DynamicBc(const CSRGraph& g, ApproxConfig config, EngineKind engine,
-                     sim::DeviceSpec device_spec, bool track_atomic_conflicts)
-    : DynamicBc(g, Options{.engine = engine,
-                           .approx = config,
-                           .device_spec = std::move(device_spec),
-                           .track_atomic_conflicts = track_atomic_conflicts}) {}
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-
 int DynamicBc::num_devices() const {
   return sharded_ ? sharded_->num_devices() : 1;
 }

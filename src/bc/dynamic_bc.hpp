@@ -41,8 +41,12 @@ namespace trace {
 enum class UpdateKind;  // trace/telemetry.hpp
 }
 
-// Batch-update config (bc/batch_update.hpp).
+// Batch-update config/snapshots (bc/batch_update.hpp).
 struct BatchConfig;
+struct BatchSnapshots;
+// Pipelined batch driver (bc/pipeline.hpp).
+struct PipelineConfig;
+struct PipelineResult;
 
 enum class EngineKind { kCpu, kGpuEdge, kGpuNode, kGpuAdaptive };
 
@@ -85,14 +89,6 @@ class DynamicBc {
   /// Snapshot `g`; the analytic owns its own dynamic copy of the graph.
   DynamicBc(const CSRGraph& g, const Options& options);
 
-  /// Pre-Options constructor. Forwards to the Options form; kept so older
-  /// call sites compile.
-  [[deprecated("use DynamicBc(graph, Options{...})")]]
-  DynamicBc(const CSRGraph& g, ApproxConfig config,
-            EngineKind engine = EngineKind::kCpu,
-            sim::DeviceSpec device_spec = sim::DeviceSpec::tesla_c2075(),
-            bool track_atomic_conflicts = false);
-
   /// Initial static computation (fills the per-source store and scores).
   /// Must be called (once) before insert_edge. Returns the modeled seconds
   /// of the static pass (0 for the CPU engine, whose static pass is not
@@ -121,6 +117,15 @@ class DynamicBc {
   /// Same, with Options::batch_recompute_threshold as the config.
   UpdateOutcome insert_edge_batch(
       std::span<const std::pair<VertexId, VertexId>> edges);
+
+  /// Pipelined stream of batches: applies every batch exactly like
+  /// insert_edge_batch (scores are bit-identical at every depth) while a
+  /// modeled double-buffered schedule overlaps batch k+1's host staging and
+  /// edge uploads with batch k's kernels on the simulated copy engine
+  /// (gpusim/stream.hpp). Defined in bc/pipeline.cpp.
+  PipelineResult insert_edge_batches(
+      std::span<const std::vector<std::pair<VertexId, VertexId>>> batches,
+      const PipelineConfig& config);
 
   /// Remove an edge and incrementally update the analytic (same-level
   /// removals are free; only distance-growing removals recompute, and only
@@ -154,6 +159,20 @@ class DynamicBc {
  private:
   UpdateOutcome run_update(VertexId u, VertexId v);
   double recompute();
+  /// Structure phase of a batch insertion: admits edges into the dynamic
+  /// graph, builds the incremental snapshots, and advances csr_ to the
+  /// batch's final graph. Fills outcome.inserted/skipped/
+  /// structure_wall_seconds; the snapshots are empty when nothing was
+  /// accepted. Shared by insert_edge_batch and the pipelined driver
+  /// (bc/pipeline.cpp), which is what keeps their scores bit-identical.
+  BatchSnapshots stage_batch(
+      std::span<const std::pair<VertexId, VertexId>> edges,
+      UpdateOutcome& outcome);
+  /// Engine phase of a batch insertion: runs the (source, batch) jobs on
+  /// the configured engine and folds per-source outcomes, modeled seconds,
+  /// and update_wall_seconds into `outcome`. Defined in bc/batch_update.cpp.
+  void run_batch_kernels(const BatchSnapshots& batch, const BatchConfig& config,
+                         UpdateOutcome& outcome);
   /// Folds a finished update into the opt-in stream telemetry
   /// (trace/telemetry.hpp). Every update path - single insert, removal,
   /// batch - reports through this one hook at the UpdateOutcome layer, so

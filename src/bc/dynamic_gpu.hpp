@@ -95,6 +95,9 @@ class DynamicGpuBc {
 
   const sim::DeviceSpec& spec() const { return device_.spec(); }
   Parallelism mode() const { return mode_; }
+  /// The simulated device the engine launches on (the pipelined batch
+  /// driver issues its transfers against this device's copy engine).
+  sim::Device& device() { return device_; }
 
   /// Adaptive parallelism: when set, every launch plans a per-source
   /// edge/node decision through the policy (and feeds measured modeled

@@ -29,9 +29,4 @@ struct UpdateOutcome {
   double structure_wall_seconds = 0.0;  // graph + snapshot maintenance
 };
 
-/// Pre-unification names; both were field-for-field subsets of
-/// UpdateOutcome. New code should use UpdateOutcome directly.
-using InsertOutcome [[deprecated("use UpdateOutcome")]] = UpdateOutcome;
-using BatchOutcome [[deprecated("use UpdateOutcome")]] = UpdateOutcome;
-
 }  // namespace bcdyn

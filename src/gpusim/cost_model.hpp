@@ -39,6 +39,18 @@ struct CostModel {
                                  // live in unified memory, so no row data
                                  // moves with the job)
 
+  // Copy engine (gpusim/stream.hpp): one DMA engine per device moving
+  // bytes over the host interconnect, concurrent with the SMs. Fermi-era
+  // PCIe 2.0 x16 sustains ~6 GB/s from pinned buffers but the staging
+  // paths we model (STINGER-style CSR snapshots living in pageable host
+  // memory) bounce through the driver's staging buffers at ~3 GB/s, i.e.
+  // ~0.38 device cycles per byte at 1.15 GHz; D2H is slightly slower
+  // still. Every transfer - even zero bytes - pays the fixed setup charge
+  // (driver call + DMA descriptor + PCIe round trip, ~10 us).
+  double h2d_cycles_per_byte = 0.38;
+  double d2h_cycles_per_byte = 0.42;
+  double transfer_setup_cycles = 11500.0;
+
   // Aggregate memory-throughput terms, charged per round on the *sum* of
   // the round's accesses (the per-access costs above enter the round's
   // divergence max instead). These are what make a fully-loaded

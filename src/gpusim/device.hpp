@@ -104,6 +104,63 @@ class Device {
   const KernelStats& accumulated() const { return accumulated_; }
   void reset_accumulated() { accumulated_ = {}; }
 
+  // --- async timelines (gpusim/stream.hpp) ------------------------------
+  // The device owns three engine timelines: the SM array (every launch
+  // lays out back to back on it, exactly the pre-stream behaviour) and two
+  // copy (DMA) engines, one per transfer direction - Fermi-class compute
+  // parts like the Tesla C2075 ship two async engines precisely so an
+  // upload, a download, and compute can all overlap. Transfers in the SAME
+  // direction serialize on their engine; opposite directions do not.
+  // Streams do cycle arithmetic against all three; the synchronous launch
+  // API never touches the copy engines, so its modeled results are
+  // unchanged.
+
+  /// Modeled cycle the SM array becomes free (end of the last launch).
+  double compute_end_cycles() const { return timeline_origin_cycles_; }
+  /// Modeled cycle both copy engines are free (end of the last transfer).
+  double copy_end_cycles() const {
+    return h2d_end_cycles_ > d2h_end_cycles_ ? h2d_end_cycles_
+                                             : d2h_end_cycles_;
+  }
+  /// Per-direction engine frontiers.
+  double h2d_end_cycles() const { return h2d_end_cycles_; }
+  double d2h_end_cycles() const { return d2h_end_cycles_; }
+  /// Device makespan: the max over the SM schedule and the copy-engine
+  /// timelines - with no transfers this is exactly the synchronous
+  /// back-to-back launch timeline.
+  double makespan_cycles() const {
+    const double copy = copy_end_cycles();
+    return timeline_origin_cycles_ > copy ? timeline_origin_cycles_ : copy;
+  }
+  double makespan_seconds() const {
+    return makespan_cycles() / (spec_.clock_ghz * 1e9);
+  }
+
+  /// Stalls the SM array until `cycles` (a stream dependency edge: the
+  /// next launch must not start before, say, its input transfer landed).
+  /// No-op when the SMs are already past that point. Observability records
+  /// the stall under sim.stream.compute_stall_cycles.
+  void wait_compute_until(double cycles);
+
+  /// Registers a stream and returns its id (used by sim::Stream; ids are
+  /// dense per device and label the kStreamTrackBase + id trace track).
+  int register_stream(std::string_view name);
+
+  /// Places one transfer on the copy engine: starts at
+  /// max(copy_end_cycles(), not_before_cycles), occupies the engine for
+  /// transfer_cycles(cost_model(), dir, bytes), and records sim.copy.*
+  /// metrics plus copy-engine/stream trace events. `stream_id` attributes
+  /// the transfer (pass the issuing stream's id). Used by sim::Stream -
+  /// prefer Stream::memcpy_h2d/d2h.
+  struct TransferRecord {
+    double start_cycles = 0.0;
+    double end_cycles = 0.0;
+    double wait_cycles = 0.0;
+  };
+  TransferRecord record_transfer(int stream_id, bool host_to_device,
+                                 std::uint64_t bytes, double not_before_cycles,
+                                 std::string_view label);
+
   /// Schedule of the most recent launch (empty before the first one).
   const LaunchTimeline& last_timeline() const { return last_timeline_; }
 
@@ -124,7 +181,10 @@ class Device {
   LaunchTimeline last_timeline_;
   int trace_pid_ = 0;
   std::int64_t launch_seq_ = 0;          // per-device launch id
-  double timeline_origin_cycles_ = 0.0;  // modeled time already spent
+  double timeline_origin_cycles_ = 0.0;  // SM-array modeled time spent
+  double h2d_end_cycles_ = 0.0;          // upload copy-engine frontier
+  double d2h_end_cycles_ = 0.0;          // download copy-engine frontier
+  int num_streams_ = 0;
 };
 
 /// Computes the makespan of `block_cycles` over `num_sms` SMs under the

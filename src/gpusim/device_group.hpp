@@ -76,6 +76,20 @@ class DeviceGroup {
     return devices_.front()->cost_model();
   }
 
+  /// Group makespan: the max over the devices' makespans, each of which is
+  /// itself max(SM schedule end, copy-engine end) - the devices (and their
+  /// copy engines) run concurrently.
+  double makespan_cycles() const {
+    double end = 0.0;
+    for (const auto& d : devices_) {
+      if (d->makespan_cycles() > end) end = d->makespan_cycles();
+    }
+    return end;
+  }
+  double makespan_seconds() const {
+    return makespan_cycles() / (spec().clock_ghz * 1e9);
+  }
+
   using JobKernel = Device::JobKernel;
 
   /// Runs `num_jobs` jobs sharded across the group. `initial_device[j]`

@@ -145,6 +145,50 @@ void write_report(const std::vector<TraceEvent>& events,
     }
   }
 
+  // --- async pipeline (insert_edge_batches + copy engine) ------------
+  // Only rendered when the pipelined batch driver ran: a synchronous run
+  // records no bc.pipeline.* metrics and the report is unchanged.
+  const std::uint64_t pipeline_runs =
+      registry.counter_value("bc.pipeline.runs");
+  if (pipeline_runs > 0) {
+    out << "\n== pipeline ==\n";
+    out << "  " << pipeline_runs << " pipelined runs, "
+        << registry.counter_value("bc.pipeline.batches") << " batches, depth "
+        << fmt("%.0f", registry.gauge_value("bc.pipeline.depth")) << "\n";
+    const double modeled = registry.gauge_value("bc.pipeline.modeled_seconds");
+    const double serial = registry.gauge_value("bc.pipeline.serial_seconds");
+    out << "  modeled makespan " << fmt("%.2f", modeled * 1e6)
+        << " us vs serial chain " << fmt("%.2f", serial * 1e6) << " us";
+    const auto overlap = registry.histogram("bc.pipeline.overlap_efficiency");
+    if (overlap.count > 0) {
+      out << "  (overlap efficiency mean " << fmt("%.2f", overlap.mean())
+          << "x, max " << fmt("%.2f", overlap.max) << "x over "
+          << overlap.count << " runs)";
+    }
+    out << "\n";
+    out << "  copy engine: " << registry.counter_value("sim.copy.transfers")
+        << " transfers (" << registry.counter_value("sim.copy.h2d.transfers")
+        << " H2D / " << registry.counter_value("sim.copy.h2d.bytes")
+        << " B up, " << registry.counter_value("sim.copy.d2h.transfers")
+        << " D2H / " << registry.counter_value("sim.copy.d2h.bytes")
+        << " B down)\n";
+    const auto copy_wait = registry.histogram("sim.copy.wait_cycles");
+    if (copy_wait.count > 0) {
+      out << "  copy-engine queueing: mean " << fmt("%.0f", copy_wait.mean())
+          << " cycles, max " << fmt("%.0f", copy_wait.max) << " over "
+          << copy_wait.count << " delayed transfers\n";
+    }
+    const auto stall = registry.histogram("sim.stream.compute_stall_cycles");
+    out << "  streams: " << registry.counter_value("sim.stream.created")
+        << " created, " << registry.counter_value("sim.stream.event_waits")
+        << " event waits";
+    if (stall.count > 0) {
+      out << ", compute stalled on uploads " << stall.count
+          << "x (mean " << fmt("%.0f", stall.mean()) << " cycles)";
+    }
+    out << "\n";
+  }
+
   // --- case mix ------------------------------------------------------
   const std::uint64_t case1 = registry.counter_value("bc.case1.count");
   const std::uint64_t case2 = registry.counter_value("bc.case2.count");

@@ -1,7 +1,22 @@
 // Human-readable run report assembled from a recorded trace plus the
-// metrics registry: top kernels by modeled time, per-SM occupancy and
-// LPT imbalance per device, the case-mix histogram, and atomic-conflict
-// hotspots. This is what `bcdyn_trace` prints.
+// metrics registry. This is what `bcdyn_trace` prints and what
+// bc::Session::report() returns.
+//
+// Sections appear in a fixed, documented order so reports from two runs
+// diff cleanly. Sections marked (opt-in) are omitted entirely - not
+// rendered empty - when their subsystem recorded nothing, which keeps a
+// plain run's report byte-identical whether or not the feature is built:
+//
+//   1. == top kernels by modeled time ==   always
+//   2. == SM timelines ==                  always
+//   3. == device group ==                  (opt-in: sim.group.launches)
+//   4. == pipeline ==                      (opt-in: bc.pipeline.runs)
+//   5. == case mix (per source x update) ==  always
+//   6. == atomic-conflict hotspots ==      always
+//   7. == hazard detection ==              (opt-in: sim.hazard.launches)
+//   8. == adaptive policy ==               (opt-in: bc.adaptive.decisions)
+//   9. == stream telemetry ==              (opt-in: telemetry updates)
+//  10. == BFS frontier sizes ==            (opt-in: bc.frontier_size)
 #pragma once
 
 #include <iosfwd>

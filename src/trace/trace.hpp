@@ -36,6 +36,12 @@ inline constexpr int kDevicePidBase = 1;  // pid of the first sim::Device
 /// Device-pid track that carries one event per kernel launch (SM tracks
 /// use tids [0, num_sms)).
 inline constexpr int kLaunchTrackTid = 1000000;
+/// Device-pid track for the copy (DMA) engine: one complete event per
+/// modeled H2D/D2H transfer (gpusim/stream.hpp).
+inline constexpr int kCopyEngineTid = 2000000;
+/// Per-stream timelines: stream `s` mirrors its ops on tid
+/// kStreamTrackBase + s of its device's pid.
+inline constexpr int kStreamTrackBase = 1500000;
 
 /// A numeric key/value attached to an event (shown in chrome://tracing's
 /// argument pane and consumed by the report/validators).

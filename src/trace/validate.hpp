@@ -21,9 +21,13 @@ namespace bcdyn::trace {
 inline constexpr const char* kCatLaunch = "sim.launch";  // launch summaries
 inline constexpr const char* kCatBlock = "sim.block";    // launch() blocks
 inline constexpr const char* kCatJob = "sim.job";        // launch_queue jobs
+inline constexpr const char* kCatCopy = "sim.copy";      // copy-engine transfers
+inline constexpr const char* kCatStream = "sim.stream";  // per-stream op mirror
 inline constexpr const char* kArgLaunchId = "launch";
 inline constexpr const char* kArgBlocks = "blocks";
 inline constexpr const char* kArgIndex = "index";
+inline constexpr const char* kArgBytes = "bytes";
+inline constexpr const char* kArgStream = "stream";
 
 /// Returns a human-readable description of every violated invariant
 /// (empty means the trace is well formed).

@@ -1,9 +1,21 @@
 #include "util/cli.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+#include <ostream>
 #include <stdexcept>
 
 namespace bcdyn::util {
+
+namespace {
+
+std::string fmt_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+}  // namespace
 
 Cli::Cli(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -21,41 +33,67 @@ Cli::Cli(int argc, const char* const* argv) {
   }
 }
 
+void Cli::register_help(const std::string& key, std::string fallback,
+                        std::string_view help) const {
+  if (help.empty()) return;
+  for (const FlagHelp& f : help_) {
+    if (f.key == key) return;  // first registration wins
+  }
+  help_.push_back({key, std::move(fallback), std::string(help)});
+}
+
 bool Cli::has(const std::string& key) const {
   read_[key] = true;
   return values_.count(key) > 0;
 }
 
-std::string Cli::get(const std::string& key, const std::string& fallback) const {
+std::string Cli::get(const std::string& key, const std::string& fallback,
+                     std::string_view help) const {
   read_[key] = true;
+  register_help(key, fallback.empty() ? "\"\"" : fallback, help);
   auto it = values_.find(key);
   return it == values_.end() ? fallback : it->second;
 }
 
-std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback,
+                          std::string_view help) const {
   read_[key] = true;
+  register_help(key, std::to_string(fallback), help);
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   return std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
-double Cli::get_double(const std::string& key, double fallback) const {
+double Cli::get_double(const std::string& key, double fallback,
+                       std::string_view help) const {
   read_[key] = true;
+  register_help(key, fmt_double(fallback), help);
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   return std::strtod(it->second.c_str(), nullptr);
 }
 
-bool Cli::get_bool(const std::string& key, bool fallback) const {
+bool Cli::get_bool(const std::string& key, bool fallback,
+                   std::string_view help) const {
   read_[key] = true;
+  register_help(key, fallback ? "true" : "false", help);
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
-std::vector<std::int64_t> Cli::get_int_list(
-    const std::string& key, std::vector<std::int64_t> fallback) const {
+std::vector<std::int64_t> Cli::get_int_list(const std::string& key,
+                                            std::vector<std::int64_t> fallback,
+                                            std::string_view help) const {
   read_[key] = true;
+  {
+    std::string def;
+    for (std::size_t i = 0; i < fallback.size(); ++i) {
+      if (i > 0) def += ",";
+      def += std::to_string(fallback[i]);
+    }
+    register_help(key, def.empty() ? "\"\"" : def, help);
+  }
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   std::vector<std::int64_t> out;
@@ -76,6 +114,48 @@ std::vector<std::string> Cli::unused_keys() const {
     if (!read_.count(key)) unused.push_back(key);
   }
   return unused;
+}
+
+bool Cli::help_requested() const {
+  read_["help"] = true;
+  return values_.count("help") > 0;
+}
+
+void Cli::print_help(std::string_view tool, std::string_view summary,
+                     std::ostream& os) const {
+  os << "usage: " << tool << " [--flag=value ...]\n\n" << summary << "\n\n";
+  os << "flags:\n";
+  std::size_t width = 0;
+  for (const FlagHelp& f : help_) {
+    const std::size_t w = f.key.size() + f.fallback.size() + 3;  // --, =
+    if (w > width) width = w;
+  }
+  for (const FlagHelp& f : help_) {
+    std::string left = "--" + f.key + "=" + f.fallback;
+    if (left.size() < width) left.append(width - left.size(), ' ');
+    os << "  " << left << "  " << f.help << "\n";
+  }
+  os << "  --help" << std::string(width > 4 ? width - 4 : 1, ' ')
+     << "  print this message and exit\n";
+}
+
+StdFlags parse_std_flags(const Cli& cli) {
+  StdFlags std_flags;
+  std_flags.engine =
+      cli.get("engine", std_flags.engine,
+              "update engine: cpu | gpu-edge | gpu-node | gpu-adaptive");
+  std_flags.devices = static_cast<int>(
+      cli.get_int("devices", std_flags.devices,
+                  "simulated devices to shard GPU engines across"));
+  std_flags.metrics =
+      cli.get("metrics", std_flags.metrics, "write the metrics JSON here");
+  std_flags.telemetry =
+      cli.get("telemetry", std_flags.telemetry,
+              "stream-telemetry snapshot path (enables the layer)");
+  std_flags.window = static_cast<std::size_t>(
+      cli.get_int("window", static_cast<std::int64_t>(std_flags.window),
+                  "telemetry sliding-window width, in updates"));
+  return std_flags;
 }
 
 }  // namespace bcdyn::util

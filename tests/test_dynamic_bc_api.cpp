@@ -6,6 +6,7 @@
 
 #include "bc/brandes.hpp"
 #include "bc/dynamic_bc.hpp"
+#include "bc/session.hpp"
 #include "gen/generators.hpp"
 #include "test_helpers.hpp"
 
@@ -197,41 +198,27 @@ TEST(DynamicBcApi, UpdateOutcomeDefaultsAreEmpty) {
   EXPECT_EQ(outcome.max_touched, 0);
 }
 
-TEST(DynamicBcApi, DeprecatedAliasesAndCtorStillWork) {
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  // The pre-unification names are the same type.
-  static_assert(std::is_same_v<InsertOutcome, UpdateOutcome>);
-  static_assert(std::is_same_v<BatchOutcome, UpdateOutcome>);
-
-  // The pre-Options constructor delegates to the Options form - both the
-  // short form and the full five-argument spelling.
+TEST(DynamicBcApi, SessionMatchesBareAnalytic) {
+  // The bc::Session facade wraps a DynamicBc without changing its results:
+  // same engine, same config -> bit-identical scores.
   const auto g = test::gnp_graph(30, 0.1, 17);
-  DynamicBc legacy(g, ApproxConfig{.num_sources = 8, .seed = 2},
-                   EngineKind::kGpuEdge);
-  DynamicBc legacy_full(g, ApproxConfig{.num_sources = 8, .seed = 2},
-                        EngineKind::kGpuEdge, sim::DeviceSpec::tesla_c2075(),
-                        /*track_atomic_conflicts=*/true);
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-  DynamicBc modern(g, {.engine = EngineKind::kGpuEdge,
-                       .approx = {.num_sources = 8, .seed = 2}});
-  EXPECT_TRUE(legacy_full.options().track_atomic_conflicts);
-  legacy.compute();
-  modern.compute();
-  EXPECT_EQ(legacy.engine(), EngineKind::kGpuEdge);
-  EXPECT_EQ(legacy.num_devices(), 1);
+  bc::Session session(g, {.engine = EngineKind::kGpuEdge,
+                          .approx = {.num_sources = 8, .seed = 2}});
+  DynamicBc bare(g, {.engine = EngineKind::kGpuEdge,
+                     .approx = {.num_sources = 8, .seed = 2}});
+  session.compute();
+  bare.compute();
+  EXPECT_EQ(session.engine(), EngineKind::kGpuEdge);
+  EXPECT_EQ(session.num_devices(), 1);
   BCDYN_SEEDED_RNG(rng, 5);
-  const auto [u, v] = test::random_absent_edge(legacy.graph(), rng);
-  EXPECT_TRUE(legacy.insert_edge(u, v).inserted);
-  EXPECT_TRUE(modern.insert_edge(u, v).inserted);
-  // Same engine, same config: bit-identical scores.
-  for (std::size_t i = 0; i < legacy.scores().size(); ++i) {
-    EXPECT_EQ(legacy.scores()[i], modern.scores()[i]);
+  const auto [u, v] = test::random_absent_edge(session.graph(), rng);
+  EXPECT_TRUE(session.insert_edge(u, v).inserted);
+  EXPECT_TRUE(bare.insert_edge(u, v).inserted);
+  for (std::size_t i = 0; i < session.scores().size(); ++i) {
+    EXPECT_EQ(session.scores()[i], bare.scores()[i]);
   }
+  // Session exposes the wrapped analytic for surface it does not forward.
+  EXPECT_EQ(&session.analytic().graph(), &session.graph());
 }
 
 }  // namespace

@@ -18,11 +18,8 @@
 // sequence-numbered windows - no wall clock - so a rerun with the same
 // flags prints bit-identical digests.
 //
-// Flags: --graph=small|caida|... --scale=F --seed=S --sources=K
-//        --engine=cpu|gpu-edge|gpu-node|gpu-adaptive --devices=N
-//        --updates=N --remove-every=K --batch-every=K --batch=B
-//        --threshold=F --window=W --slo-p99=S --spike-factor=X
-//        --interval=N --telemetry=P --events=P --prom=P --fail-on-slo
+// Run with --help for the full flag list (shared flag spellings/defaults
+// come from util::parse_std_flags).
 
 #include <cstdio>
 #include <fstream>
@@ -33,7 +30,7 @@
 #include <vector>
 
 #include "bc/batch_update.hpp"
-#include "bc/dynamic_bc.hpp"
+#include "bc/session.hpp"
 #include "gen/suite.hpp"
 #include "trace/json.hpp"
 #include "trace/metrics.hpp"
@@ -50,18 +47,15 @@ struct Options {
   double scale = 0.25;
   std::uint64_t seed = 7;
   int sources = 32;
-  std::string engine = "gpu-edge";
-  int devices = 1;
+  util::StdFlags std_flags;  // --engine/--devices/--metrics/--telemetry/--window
   int updates = 128;      // total update operations in the stream
   int remove_every = 4;   // every Kth op removes a prior insertion (0=never)
   int batch_every = 16;   // every Kth op is a batched insert (0=never)
   int batch = 8;          // edges per batched insert
   double threshold = 0.25;
-  std::size_t window = 64;
   double slo_p99 = 0.0;
   double spike_factor = 8.0;
   int interval = 32;  // digest period in updates (0 = final digest only)
-  std::string telemetry_out;
   std::string events_out;
   std::string prom_out;
   bool fail_on_slo = false;
@@ -77,7 +71,8 @@ void print_digest(const Options& opt, int done, std::uint64_t case1,
                   std::uint64_t case2, std::uint64_t case3) {
   const trace::TelemetrySnapshot snap = trace::telemetry().snapshot();
   std::cout << "-- update " << done << "/" << opt.updates << "  engine "
-            << opt.engine << "  window " << snap.config.window << "  spikes "
+            << opt.std_flags.engine << "  window " << snap.config.window
+            << "  spikes "
             << snap.spikes << "  slo ";
   if (snap.config.slo_p99_seconds > 0.0) {
     std::cout << (snap.slo_violated ? "VIOLATED" : "ok") << " ("
@@ -116,29 +111,46 @@ int main(int argc, char** argv) {
   try {
     const util::Cli cli(argc, argv);
     Options opt;
-    opt.graph = cli.get("graph", opt.graph);
-    opt.scale = cli.get_double("scale", opt.scale);
-    opt.seed = static_cast<std::uint64_t>(
-        cli.get_int("seed", static_cast<std::int64_t>(opt.seed)));
-    opt.sources = static_cast<int>(cli.get_int("sources", opt.sources));
-    opt.engine = cli.get("engine", opt.engine);
-    opt.devices = static_cast<int>(cli.get_int("devices", opt.devices));
-    opt.updates = static_cast<int>(cli.get_int("updates", opt.updates));
-    opt.remove_every =
-        static_cast<int>(cli.get_int("remove-every", opt.remove_every));
-    opt.batch_every =
-        static_cast<int>(cli.get_int("batch-every", opt.batch_every));
-    opt.batch = static_cast<int>(cli.get_int("batch", opt.batch));
-    opt.threshold = cli.get_double("threshold", opt.threshold);
-    opt.window = static_cast<std::size_t>(
-        cli.get_int("window", static_cast<std::int64_t>(opt.window)));
-    opt.slo_p99 = cli.get_double("slo-p99", opt.slo_p99);
-    opt.spike_factor = cli.get_double("spike-factor", opt.spike_factor);
-    opt.interval = static_cast<int>(cli.get_int("interval", opt.interval));
-    opt.telemetry_out = cli.get("telemetry", opt.telemetry_out);
-    opt.events_out = cli.get("events", opt.events_out);
-    opt.prom_out = cli.get("prom", opt.prom_out);
-    opt.fail_on_slo = cli.get_bool("fail-on-slo", opt.fail_on_slo);
+    opt.graph = cli.get("graph", opt.graph, "suite graph name (gen/suite)");
+    opt.scale = cli.get_double("scale", opt.scale, "suite size multiplier");
+    opt.seed = static_cast<std::uint64_t>(cli.get_int(
+        "seed", static_cast<std::int64_t>(opt.seed), "master RNG seed"));
+    opt.sources =
+        static_cast<int>(cli.get_int("sources", opt.sources,
+                                     "BC approximation sources (paper K)"));
+    opt.std_flags = util::parse_std_flags(cli);
+    opt.updates = static_cast<int>(cli.get_int(
+        "updates", opt.updates, "total update operations in the stream"));
+    opt.remove_every = static_cast<int>(
+        cli.get_int("remove-every", opt.remove_every,
+                    "every Kth op removes a prior insertion (0 = never)"));
+    opt.batch_every = static_cast<int>(
+        cli.get_int("batch-every", opt.batch_every,
+                    "every Kth op is a batched insert (0 = never)"));
+    opt.batch = static_cast<int>(
+        cli.get_int("batch", opt.batch, "edges per batched insert"));
+    opt.threshold = cli.get_double("threshold", opt.threshold,
+                                   "batch recompute-fallback threshold");
+    opt.slo_p99 = cli.get_double("slo-p99", opt.slo_p99,
+                                 "windowed-p99 SLO budget, seconds (0 = off)");
+    opt.spike_factor = cli.get_double(
+        "spike-factor", opt.spike_factor, "anomaly gate vs running median");
+    opt.interval = static_cast<int>(
+        cli.get_int("interval", opt.interval,
+                    "digest period in updates (0 = final digest only)"));
+    opt.events_out = cli.get("events", opt.events_out,
+                             "JSONL stream of flagged updates");
+    opt.prom_out =
+        cli.get("prom", opt.prom_out, "Prometheus text exposition path");
+    opt.fail_on_slo = cli.get_bool("fail-on-slo", opt.fail_on_slo,
+                                   "exit 3 when the windowed p99 SLO fails");
+    if (cli.help_requested()) {
+      cli.print_help("bcdyn_monitor",
+                     "Replay a deterministic update stream with stream "
+                     "telemetry on; print periodic top-style latency digests.",
+                     std::cout);
+      return 0;
+    }
     for (const auto& key : cli.unused_keys()) {
       std::cerr << "warning: unrecognized flag --" << key << "\n";
     }
@@ -146,27 +158,28 @@ int main(int argc, char** argv) {
     const gen::SuiteEntry entry =
         gen::build_suite_graph(opt.graph, opt.scale, opt.seed);
     const VertexId n = entry.graph.num_vertices();
-    DynamicBc bc(entry.graph,
-                 {.engine = parse_engine_flag(opt.engine),
-                  .approx = {.num_sources = opt.sources, .seed = opt.seed},
-                  .num_devices = opt.devices,
-                  .batch_recompute_threshold = opt.threshold});
-    std::cout << "bcdyn_monitor: graph=" << opt.graph << " (" << n
-              << " vertices), engine=" << opt.engine << ", devices="
-              << opt.devices << ", stream of " << opt.updates
-              << " updates\n\n";
-    bc.compute();
-
-    auto& tel = trace::telemetry();
-    tel.configure({.window = opt.window,
-                   .slo_p99_seconds = opt.slo_p99,
-                   .spike_factor = opt.spike_factor});
+    // The event sink outlives the Session (set before telemetry arms).
     std::ofstream events_file;
     if (!opt.events_out.empty()) {
       events_file.open(opt.events_out);
-      tel.set_event_sink(&events_file);
+      trace::telemetry().set_event_sink(&events_file);
     }
-    tel.set_enabled(true);
+    bc::Session bc(
+        entry.graph,
+        {.engine = parse_engine_flag(opt.std_flags.engine),
+         .approx = {.num_sources = opt.sources, .seed = opt.seed},
+         .num_devices = opt.std_flags.devices,
+         .batch_recompute_threshold = opt.threshold,
+         .runtime = {.telemetry = true,
+                     .telemetry_config = {.window = opt.std_flags.window,
+                                          .slo_p99_seconds = opt.slo_p99,
+                                          .spike_factor = opt.spike_factor}}});
+    std::cout << "bcdyn_monitor: graph=" << opt.graph << " (" << n
+              << " vertices), engine=" << opt.std_flags.engine << ", devices="
+              << opt.std_flags.devices << ", stream of " << opt.updates
+              << " updates\n\n";
+    bc.compute();
+    auto& tel = trace::telemetry();
 
     util::Rng rng(opt.seed ^ 0x3e1e3e77ULL);
     auto random_edge = [&] {
@@ -232,10 +245,10 @@ int main(int argc, char** argv) {
                 << "\n";
       return 1;
     }
-    if (!opt.telemetry_out.empty()) {
-      std::ofstream f(opt.telemetry_out);
+    if (!opt.std_flags.telemetry.empty()) {
+      std::ofstream f(opt.std_flags.telemetry);
       f << snap_json.str();
-      std::cout << "telemetry snapshot -> " << opt.telemetry_out << "\n";
+      std::cout << "telemetry snapshot -> " << opt.std_flags.telemetry << "\n";
     }
     if (!opt.events_out.empty()) {
       std::cout << "anomaly events     -> " << opt.events_out << "\n";
@@ -244,6 +257,12 @@ int main(int argc, char** argv) {
       std::ofstream f(opt.prom_out);
       tel.write_prometheus(f);
       std::cout << "prometheus         -> " << opt.prom_out << "\n";
+    }
+    if (!opt.std_flags.metrics.empty()) {
+      tel.publish_gauges(trace::metrics());
+      std::ofstream f(opt.std_flags.metrics);
+      trace::metrics().write_json(f);
+      std::cout << "metrics JSON       -> " << opt.std_flags.metrics << "\n";
     }
 
     const bool slo_violated = tel.snapshot().slo_violated;

@@ -1,23 +1,28 @@
 // bcdyn_trace: drive a traced dynamic-BC run and report what happened.
 //
-// The tool enables the process tracer, runs a configurable insertion
-// workload (per-edge updates and/or batched updates) on one of the
-// simulated engines, then:
+// The tool runs a configurable insertion workload (per-edge updates and/or
+// batched updates) through a bc::Session with tracing on, then:
 //
 //   * writes the Chrome trace-event JSON (--out, default trace.json; load
 //     it in chrome://tracing or https://ui.perfetto.dev - pid 0 is host
-//     wall time, pid 1+ are the devices' modeled SM timelines);
-//   * writes the flat metrics JSON (--metrics, default metrics.json);
+//     wall time, pid 1+ are the devices' modeled SM/copy-engine/stream
+//     timelines);
+//   * writes the flat metrics JSON when --metrics=PATH is given;
 //   * prints a human report: top kernels by modeled time, per-SM
-//     occupancy/imbalance, the case-mix histogram, and atomic-conflict
-//     hotspots.
+//     occupancy/imbalance, the case-mix histogram, atomic-conflict
+//     hotspots, and - for pipelined runs - the pipeline section.
 //
 // --hazard additionally turns on the shadow-memory hazard detector in
 // strict mode: any same-round data race flagged by a kernel aborts the run
 // with the offending kernel/launch/block/round/items, and a clean run adds
 // a "== hazard detection ==" section to the report.
 //
-// --selftest runs a fixed scenario, checks the trace's structural
+// --pipeline=D runs the batched phase through the double-buffered pipeline
+// driver (Session::insert_edge_batches) at depth D instead of one
+// synchronous insert_edge_batch, so the trace shows the copy-engine and
+// per-stream tracks and the report gains the "== pipeline ==" section.
+//
+// --selftest runs fixed scenarios, checks the trace's structural
 // invariants (spans nest, every launch's blocks/jobs appear exactly once
 // on the SM timelines, exporters parse as JSON), verifies the hazard
 // detector stays quiet on the shipped kernels yet fires on a deliberately
@@ -38,12 +43,8 @@
 // stable-key JSON snapshot. --telemetry-events=P streams one JSONL record
 // per flagged update; --telemetry-prom=P writes Prometheus exposition.
 //
-// Flags: --graph=small|caida|... --scale=F --seed=S --sources=K
-//        --engine=cpu|gpu-edge|gpu-node|gpu-adaptive --devices=N
-//        --insertions=N --batch=B --threshold=F --conflicts=0|1 --hazard
-//        --telemetry=P --telemetry-events=P --telemetry-prom=P
-//        --window=W --slo-p99=S --spike-factor=K
-//        --out=P --metrics=P --decisions=P --selftest
+// Run with --help for the full flag list (shared flag spellings/defaults
+// come from util::parse_std_flags).
 
 #include <fstream>
 #include <iostream>
@@ -53,7 +54,8 @@
 #include <vector>
 
 #include "bc/batch_update.hpp"
-#include "bc/dynamic_bc.hpp"
+#include "bc/pipeline.hpp"
+#include "bc/session.hpp"
 #include "gen/suite.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/hazard_detector.hpp"
@@ -76,41 +78,42 @@ struct Options {
   double scale = 0.25;
   std::uint64_t seed = 7;
   int sources = 32;
-  std::string engine = "gpu-edge";
-  int devices = 1;  // GPU engines: shard sources across N simulated devices
+  util::StdFlags std_flags;  // --engine/--devices/--metrics/--telemetry/--window
   int insertions = 8;
   int batch = 16;  // batched insertions after the per-edge ones (0 = none)
+  int pipeline = 0;  // 0 = synchronous batch; D > 0 = pipelined at depth D
   double threshold = 0.25;
   bool conflicts = true;
   bool hazard = false;  // strict shadow-memory hazard detection
   std::string out = "trace.json";
-  std::string metrics_out = "metrics.json";
   std::string decisions_out;  // gpu-adaptive: decision-log path ("" = off)
-  std::string telemetry_out;  // stream telemetry snapshot ("" = layer off)
   std::string telemetry_events_out;  // JSONL per flagged update
   std::string telemetry_prom_out;    // Prometheus text exposition
-  std::size_t window = 256;          // telemetry sliding-window width
   double slo_p99 = 0.0;              // windowed-p99 budget, seconds (0=off)
   double spike_factor = 8.0;         // anomaly gate vs running median
   bool selftest = false;
 };
 
-/// Runs the workload with tracing on and returns the number of applied
-/// insertions. The scenario is fully determined by `opt`. When the engine
-/// is gpu-adaptive and `decisions` is non-null, the policy's decision log
-/// is rendered into it (one record_line per decision).
-int run_scenario(const Options& opt, std::string* decisions = nullptr) {
+/// Runs the workload through a Session configured with `runtime` and
+/// returns the number of applied insertions. The scenario is fully
+/// determined by `opt`. When the engine is gpu-adaptive and `decisions` is
+/// non-null, the policy's decision log is rendered into it.
+int run_scenario(const Options& opt, const bc::Runtime& runtime,
+                 std::string* decisions = nullptr) {
   const gen::SuiteEntry entry =
       gen::build_suite_graph(opt.graph, opt.scale, opt.seed);
   const VertexId n = entry.graph.num_vertices();
 
-  DynamicBc bc(entry.graph,
-               {.engine = parse_engine_flag(opt.engine),
-                .approx = {.num_sources = opt.sources, .seed = opt.seed},
-                .num_devices = opt.devices,
-                .track_atomic_conflicts = opt.conflicts,
-                .batch_recompute_threshold = opt.threshold});
-  bc.compute();
+  bc::Session session(
+      entry.graph,
+      {.engine = parse_engine_flag(opt.std_flags.engine),
+       .approx = {.num_sources = opt.sources, .seed = opt.seed},
+       .num_devices = opt.std_flags.devices,
+       .track_atomic_conflicts = opt.conflicts,
+       .batch_recompute_threshold = opt.threshold,
+       .pipeline_depth = opt.pipeline > 0 ? opt.pipeline : 1,
+       .runtime = runtime});
+  session.compute();
 
   util::Rng rng(opt.seed ^ 0x5ca1eULL);
   auto random_edge = [&] {
@@ -122,21 +125,29 @@ int run_scenario(const Options& opt, std::string* decisions = nullptr) {
   int applied = 0;
   for (int i = 0; i < opt.insertions; ++i) {
     const auto [u, v] = random_edge();
-    if (bc.insert_edge(u, v).inserted) ++applied;
+    if (session.insert_edge(u, v).inserted) ++applied;
   }
   if (opt.batch > 0) {
     std::vector<std::pair<VertexId, VertexId>> edges;
     edges.reserve(static_cast<std::size_t>(opt.batch));
     for (int i = 0; i < opt.batch; ++i) edges.push_back(random_edge());
-    applied += bc
-                   .insert_edge_batch(edges,
-                                      BatchConfig{.recompute_threshold =
-                                                      opt.threshold})
-                   .inserted;
+    if (opt.pipeline > 0) {
+      // Split into four sub-batches so the pipeline has stages to overlap.
+      std::vector<std::vector<std::pair<VertexId, VertexId>>> batches(4);
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        batches[i % batches.size()].push_back(edges[i]);
+      }
+      applied += session.insert_edge_batches(batches).total.inserted;
+    } else {
+      applied += session.analytic()
+                     .insert_edge_batch(edges, BatchConfig{.recompute_threshold =
+                                                               opt.threshold})
+                     .inserted;
+    }
   }
-  if (decisions != nullptr && bc.policy() != nullptr) {
+  if (decisions != nullptr && session.policy() != nullptr) {
     std::ostringstream s;
-    for (const auto& rec : bc.policy()->log()) {
+    for (const auto& rec : session.policy()->log()) {
       s << ParallelismPolicy::record_line(rec) << "\n";
     }
     *decisions = s.str();
@@ -165,22 +176,26 @@ std::vector<std::string> check_exports(const std::string& chrome_json,
 
 int selftest() {
   Options opt;  // the fixed default scenario
+  const bc::Runtime traced{.tracing = true};
   trace::metrics().reset();
   auto& tr = trace::tracer();
   tr.clear();
-  tr.set_enabled(true);
-  run_scenario(opt);
+  run_scenario(opt, traced);
   // Same scenario sharded across two devices: the multi-device timelines
   // must satisfy every trace invariant too.
   Options sharded = opt;
-  sharded.devices = 2;
-  run_scenario(sharded);
+  sharded.std_flags.devices = 2;
+  run_scenario(sharded, traced);
   // And once through the adaptive engine, capturing its decision log.
   Options adaptive = opt;
-  adaptive.engine = "gpu-adaptive";
+  adaptive.std_flags.engine = "gpu-adaptive";
   std::string decisions;
-  run_scenario(adaptive, &decisions);
-  tr.set_enabled(false);
+  run_scenario(adaptive, traced, &decisions);
+  // And once pipelined: copy-engine/stream events join the trace and the
+  // report gains the pipeline section.
+  Options pipelined = opt;
+  pipelined.pipeline = 2;
+  run_scenario(pipelined, traced);
 
   std::vector<std::string> problems = trace::validate_events(tr.events());
   const auto exported = check_exports(
@@ -195,10 +210,13 @@ int selftest() {
   // The scenario ran GPU launches and per-source updates, so the trace and
   // registry cannot legitimately be empty.
   bool saw_launch = false;
+  bool saw_copy = false;
   for (const auto& ev : tr.events()) {
     if (ev.cat == trace::kCatLaunch) saw_launch = true;
+    if (ev.cat == trace::kCatCopy) saw_copy = true;
   }
   if (!saw_launch) problems.push_back("no launch summaries recorded");
+  if (!saw_copy) problems.push_back("no copy-engine transfers recorded");
   if (trace::metrics().counter_value("bc.case1.count") +
           trace::metrics().counter_value("bc.case2.count") +
           trace::metrics().counter_value("bc.case3.count") ==
@@ -207,6 +225,18 @@ int selftest() {
   }
   if (trace::metrics().counter_value("sim.group.launches") == 0) {
     problems.push_back("no device-group launches recorded");
+  }
+
+  // --- pipeline: metrics recorded, report section present --------------
+  if (trace::metrics().counter_value("bc.pipeline.runs") == 0) {
+    problems.push_back("pipeline: no pipelined runs recorded");
+  }
+  if (trace::metrics().counter_value("sim.copy.transfers") == 0) {
+    problems.push_back("pipeline: no sim.copy transfers recorded");
+  }
+  if (trace::report_string(tr, trace::metrics()).find("== pipeline ==") ==
+      std::string::npos) {
+    problems.push_back("pipeline: report lacks the pipeline section");
   }
 
   // --- adaptive policy: decisions logged, counters agree, report shows ---
@@ -237,14 +267,16 @@ int selftest() {
   // --- hazard detector: shipped kernels clean, racy fixture fires ------
   auto& hz = sim::hazards();
   hz.clear();
-  hz.set_enabled(true);
-  run_scenario(opt);
+  run_scenario(opt, bc::Runtime{.tracing = true, .hazard_detection = true});
   if (hz.violations() != 0) {
     problems.push_back("hazard: shipped kernels flagged " +
                        std::to_string(hz.violations()) + " violations");
     for (const auto& rec : hz.records()) {
       problems.push_back("hazard:   " + rec.to_string());
     }
+  }
+  if (hz.enabled()) {
+    problems.push_back("hazard: Session did not restore the detector toggle");
   }
   const std::string report = trace::report_string(tr, trace::metrics());
   if (report.find("== hazard detection ==") == std::string::npos) {
@@ -255,6 +287,7 @@ int selftest() {
   }
   // A deliberately racy kernel - every simulated thread writes element 0 -
   // must throw in strict mode and leave an attributable record.
+  hz.set_enabled(true);
   hz.set_strict(true);
   sim::Device dev(sim::DeviceSpec::tesla_c2075());
   std::vector<int> cell(1, 0);
@@ -278,14 +311,17 @@ int selftest() {
   }
 
   // --- stream telemetry: windows fill, exporters parse, section shows --
+  run_scenario(opt, bc::Runtime{.tracing = true,
+                                .telemetry = true,
+                                .telemetry_config = {
+                                    .window = 64,
+                                    .slo_p99_seconds = 1e-12,  // must breach
+                                    .spike_factor = 4.0,
+                                    .min_history = 4}});
   auto& tel = trace::telemetry();
-  tel.configure({.window = 64,
-                 .slo_p99_seconds = 1e-12,  // unmeetable: must breach
-                 .spike_factor = 4.0,
-                 .min_history = 4});
-  tel.set_enabled(true);
-  run_scenario(opt);
-  tel.set_enabled(false);
+  if (tel.enabled()) {
+    problems.push_back("telemetry: Session did not restore the toggle");
+  }
   const trace::TelemetrySnapshot tsnap = tel.snapshot();
   if (tsnap.updates == 0) {
     problems.push_back("telemetry: no updates recorded");
@@ -336,7 +372,7 @@ int selftest() {
   }
   // Disabled layer must observe nothing (the bit-identical guarantee).
   tel.clear();
-  run_scenario(opt);
+  run_scenario(opt, traced);
   if (tel.total_updates() != 0) {
     problems.push_back("telemetry: disabled layer still recorded updates");
   }
@@ -355,31 +391,48 @@ int main(int argc, char** argv) {
   try {
     const util::Cli cli(argc, argv);
     Options opt;
-    opt.selftest = cli.get_bool("selftest", false);
-    opt.graph = cli.get("graph", opt.graph);
-    opt.scale = cli.get_double("scale", opt.scale);
-    opt.seed = static_cast<std::uint64_t>(
-        cli.get_int("seed", static_cast<std::int64_t>(opt.seed)));
-    opt.sources = static_cast<int>(cli.get_int("sources", opt.sources));
-    opt.engine = cli.get("engine", opt.engine);
-    opt.devices = static_cast<int>(cli.get_int("devices", opt.devices));
-    opt.insertions =
-        static_cast<int>(cli.get_int("insertions", opt.insertions));
-    opt.batch = static_cast<int>(cli.get_int("batch", opt.batch));
-    opt.threshold = cli.get_double("threshold", opt.threshold);
-    opt.conflicts = cli.get_bool("conflicts", opt.conflicts);
-    opt.hazard = cli.get_bool("hazard", opt.hazard);
-    opt.out = cli.get("out", opt.out);
-    opt.metrics_out = cli.get("metrics", opt.metrics_out);
-    opt.decisions_out = cli.get("decisions", opt.decisions_out);
-    opt.telemetry_out = cli.get("telemetry", opt.telemetry_out);
+    opt.selftest = cli.get_bool("selftest", false,
+                                "run the observability CI gate and exit");
+    opt.graph = cli.get("graph", opt.graph, "suite graph name (gen/suite)");
+    opt.scale = cli.get_double("scale", opt.scale, "suite size multiplier");
+    opt.seed = static_cast<std::uint64_t>(cli.get_int(
+        "seed", static_cast<std::int64_t>(opt.seed), "master RNG seed"));
+    opt.sources =
+        static_cast<int>(cli.get_int("sources", opt.sources,
+                                     "BC approximation sources (paper K)"));
+    opt.std_flags = util::parse_std_flags(cli);
+    opt.insertions = static_cast<int>(
+        cli.get_int("insertions", opt.insertions, "per-edge insertions"));
+    opt.batch = static_cast<int>(cli.get_int(
+        "batch", opt.batch, "batched insertions after the per-edge ones"));
+    opt.pipeline = static_cast<int>(cli.get_int(
+        "pipeline", opt.pipeline,
+        "run the batch phase pipelined at this depth (0 = synchronous)"));
+    opt.threshold = cli.get_double("threshold", opt.threshold,
+                                   "batch recompute-fallback threshold");
+    opt.conflicts = cli.get_bool("conflicts", opt.conflicts,
+                                 "track per-address atomic conflicts");
+    opt.hazard = cli.get_bool("hazard", opt.hazard,
+                              "strict shadow-memory hazard detection");
+    opt.out = cli.get("out", opt.out, "Chrome trace-event JSON path");
+    opt.decisions_out = cli.get("decisions", opt.decisions_out,
+                                "gpu-adaptive: write the decision log here");
     opt.telemetry_events_out =
-        cli.get("telemetry-events", opt.telemetry_events_out);
-    opt.telemetry_prom_out = cli.get("telemetry-prom", opt.telemetry_prom_out);
-    opt.window = static_cast<std::size_t>(
-        cli.get_int("window", static_cast<std::int64_t>(opt.window)));
-    opt.slo_p99 = cli.get_double("slo-p99", opt.slo_p99);
-    opt.spike_factor = cli.get_double("spike-factor", opt.spike_factor);
+        cli.get("telemetry-events", opt.telemetry_events_out,
+                "JSONL stream of flagged updates");
+    opt.telemetry_prom_out = cli.get("telemetry-prom", opt.telemetry_prom_out,
+                                     "Prometheus text exposition path");
+    opt.slo_p99 = cli.get_double("slo-p99", opt.slo_p99,
+                                 "windowed-p99 SLO budget, seconds (0 = off)");
+    opt.spike_factor = cli.get_double(
+        "spike-factor", opt.spike_factor, "anomaly gate vs running median");
+    if (cli.help_requested()) {
+      cli.print_help("bcdyn_trace",
+                     "Drive a traced dynamic-BC run; write the Chrome trace, "
+                     "metrics JSON, and a human report.",
+                     std::cout);
+      return 0;
+    }
     for (const auto& key : cli.unused_keys()) {
       std::cerr << "warning: unrecognized flag --" << key << "\n";
     }
@@ -388,40 +441,30 @@ int main(int argc, char** argv) {
     trace::metrics().reset();
     auto& tr = trace::tracer();
     tr.clear();
-    tr.set_enabled(true);
-    if (opt.hazard) {
-      sim::hazards().clear();
-      sim::hazards().set_enabled(true);
-      sim::hazards().set_strict(true);
-    }
-    const bool telemetry_on = !opt.telemetry_out.empty();
+    const bool telemetry_on = !opt.std_flags.telemetry.empty();
     std::ofstream events_file;
-    if (telemetry_on) {
-      trace::telemetry().configure({.window = opt.window,
-                                    .slo_p99_seconds = opt.slo_p99,
-                                    .spike_factor = opt.spike_factor});
-      if (!opt.telemetry_events_out.empty()) {
-        events_file.open(opt.telemetry_events_out);
-        trace::telemetry().set_event_sink(&events_file);
-      }
-      trace::telemetry().set_enabled(true);
+    if (telemetry_on && !opt.telemetry_events_out.empty()) {
+      events_file.open(opt.telemetry_events_out);
+      trace::telemetry().set_event_sink(&events_file);
     }
+    const bc::Runtime runtime{
+        .tracing = true,
+        .hazard_detection = opt.hazard,
+        .strict_hazards = opt.hazard,
+        .telemetry = telemetry_on,
+        .telemetry_config = {.window = opt.std_flags.window,
+                             .slo_p99_seconds = opt.slo_p99,
+                             .spike_factor = opt.spike_factor}};
     int applied = 0;
     std::string decisions;
     try {
-      applied = run_scenario(
-          opt, opt.decisions_out.empty() ? nullptr : &decisions);
+      applied = run_scenario(opt, runtime,
+                             opt.decisions_out.empty() ? nullptr : &decisions);
     } catch (const sim::HazardError& e) {
       std::cerr << "bcdyn_trace: " << e.record().to_string() << "\n";
       return 1;
     }
-    tr.set_enabled(false);
-    if (opt.hazard) {
-      sim::hazards().set_strict(false);
-      sim::hazards().set_enabled(false);
-    }
     if (telemetry_on) {
-      trace::telemetry().set_enabled(false);
       trace::telemetry().set_event_sink(nullptr);
       // Windowed percentiles join the metrics JSON as bc.telemetry.* gauges.
       trace::telemetry().publish_gauges(trace::metrics());
@@ -437,8 +480,8 @@ int main(int argc, char** argv) {
       std::ofstream f(opt.out);
       trace::write_chrome_trace(tr, f);
     }
-    {
-      std::ofstream f(opt.metrics_out);
+    if (!opt.std_flags.metrics.empty()) {
+      std::ofstream f(opt.std_flags.metrics);
       trace::metrics().write_json(f);
     }
     if (!opt.decisions_out.empty()) {
@@ -446,7 +489,7 @@ int main(int argc, char** argv) {
       f << decisions;
     }
     if (telemetry_on) {
-      std::ofstream f(opt.telemetry_out);
+      std::ofstream f(opt.std_flags.telemetry);
       trace::telemetry().write_json_snapshot(f);
       if (!opt.telemetry_prom_out.empty()) {
         std::ofstream p(opt.telemetry_prom_out);
@@ -454,16 +497,18 @@ int main(int argc, char** argv) {
       }
     }
 
-    std::cout << "bcdyn_trace: graph=" << opt.graph << " engine=" << opt.engine
-              << " applied " << applied << " insertions, recorded "
-              << tr.event_count() << " events\n"
-              << "  chrome trace -> " << opt.out << "\n"
-              << "  metrics      -> " << opt.metrics_out << "\n";
+    std::cout << "bcdyn_trace: graph=" << opt.graph
+              << " engine=" << opt.std_flags.engine << " applied " << applied
+              << " insertions, recorded " << tr.event_count() << " events\n"
+              << "  chrome trace -> " << opt.out << "\n";
+    if (!opt.std_flags.metrics.empty()) {
+      std::cout << "  metrics      -> " << opt.std_flags.metrics << "\n";
+    }
     if (!opt.decisions_out.empty()) {
       std::cout << "  decisions    -> " << opt.decisions_out << "\n";
     }
     if (telemetry_on) {
-      std::cout << "  telemetry    -> " << opt.telemetry_out << "\n";
+      std::cout << "  telemetry    -> " << opt.std_flags.telemetry << "\n";
       if (!opt.telemetry_events_out.empty()) {
         std::cout << "  events jsonl -> " << opt.telemetry_events_out << "\n";
       }
