@@ -34,6 +34,7 @@
 #include "bc/dynamic_bc.hpp"
 #include "bc/pipeline.hpp"
 #include "bench_common.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "util/rng.hpp"
 
 using namespace bcdyn;
@@ -65,10 +66,12 @@ PipelineResult run_depth(
     const gen::SuiteEntry& entry, const ApproxConfig& approx,
     EngineKind engine, int devices,
     std::span<const std::vector<std::pair<VertexId, VertexId>>> stream,
-    int depth, const BatchConfig& config, std::vector<double>* scores) {
+    int depth, const BatchConfig& config, std::vector<double>* scores,
+    const RecoveryPolicy& recovery = {}) {
   DynamicBc analytic(entry.graph, {.engine = engine,
                                    .approx = approx,
-                                   .num_devices = devices});
+                                   .num_devices = devices,
+                                   .recovery = recovery});
   analytic.compute();
   const PipelineResult r = analytic.insert_edge_batches(
       stream, {.depth = depth, .batch = config});
@@ -163,12 +166,61 @@ int main(int argc, char** argv) {
   const double geomean = std::exp(geo / count);
   analysis::emit_table(table, bench::csv_path(cfg, "pipeline_overlap"));
   trace::metrics().set_gauge("pipeline_overlap.geomean_speedup", geomean);
+
+  // Fault-recovery leg: replay the first graph's pipelined stream with the
+  // deterministic injector firing transfer failures and stalls. Bounded
+  // retries must recover to bit-identical scores; the makespan-overhead
+  // gauge reports how much modeled time the retries and backoff cost
+  // relative to the clean run (>= 1.0 whenever anything fired).
+  bool fault_match = true;
+  {
+    const auto& entry = graphs.front();
+    const auto stream =
+        make_stream(entry.graph, batches, batch_size, cfg.seed);
+    std::vector<double> clean_scores;
+    std::vector<double> faulted_scores;
+    const PipelineResult clean = run_depth(entry, approx, engine, devices,
+                                           stream, depth, config,
+                                           &clean_scores);
+    sim::FaultPlan plan;
+    plan.seed = cfg.seed ^ 0xFA17ULL;
+    plan.transfer_fail_rate = 0.05;
+    plan.stall_rate = 0.10;
+    auto& m = trace::metrics();
+    const std::uint64_t injected0 = m.counter_value("sim.fault.injected.count");
+    const std::uint64_t retries0 = m.counter_value("bc.fault.retries.count");
+    const std::uint64_t recovered0 = m.counter_value("bc.fault.recovered.count");
+    sim::faults().configure(plan);
+    sim::faults().set_enabled(true);
+    const PipelineResult faulted = run_depth(
+        entry, approx, engine, devices, stream, depth, config,
+        &faulted_scores, {.max_retries = 8, .fallback_recompute = false});
+    sim::faults().set_enabled(false);
+    fault_match =
+        analysis::max_abs_diff(clean_scores, faulted_scores) == 0.0;
+    m.set_gauge("pipeline_overlap.fault.injected",
+                static_cast<double>(
+                    m.counter_value("sim.fault.injected.count") - injected0));
+    m.set_gauge("pipeline_overlap.fault.retries",
+                static_cast<double>(
+                    m.counter_value("bc.fault.retries.count") - retries0));
+    m.set_gauge("pipeline_overlap.fault.recovered",
+                static_cast<double>(
+                    m.counter_value("bc.fault.recovered.count") - recovered0));
+    m.set_gauge("pipeline_overlap.fault.makespan_overhead",
+                faulted.modeled_seconds / clean.modeled_seconds);
+  }
   bench::emit_metrics(cfg);
   std::cout << "Geo-mean modeled speedup from depth-" << depth
             << " pipelining (transfers included): "
             << util::Table::fmt(geomean, 2) << "x\n";
   if (!all_match) {
     std::cerr << "VERIFY FAILED: pipelined scores diverged from depth-1\n";
+    return 1;
+  }
+  if (!fault_match) {
+    std::cerr << "VERIFY FAILED: fault-recovered scores diverged from the "
+                 "clean pipelined run\n";
     return 1;
   }
   if (geomean < min_speedup) {

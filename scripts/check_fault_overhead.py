@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Zero-overhead gate for the fault injector (DESIGN.md "Fault injection").
+
+The contract: with no faults firing, the injector must be invisible in
+every deterministic artifact. This script drives the same bcdyn_trace
+scenario twice - once plain, once with the injector armed at rate 0.0
+(--faults=SEED:0.0, so every site is polled but nothing ever fires) - and
+bit-compares the metrics JSON. Any byte of drift means a fault-path
+metric, gauge, or counter leaked into the fault-free run.
+
+The Chrome trace is deliberately NOT compared: host spans carry genuine
+wall-clock timestamps, so even two plain runs differ byte-wise. The
+metrics JSON is the deterministic artifact (modeled cycles only).
+
+Registered as the `fault_zero_overhead` ctest (label `cli`):
+
+    python3 scripts/check_fault_overhead.py --binary build/tools/bcdyn_trace
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+SCENARIO = [
+    "--graph=small", "--scale=0.1", "--sources=8", "--insertions=4",
+    "--batch=8", "--pipeline=2", "--devices=2",
+]
+
+
+def run(binary, out_dir, metrics_name, extra):
+    metrics = pathlib.Path(out_dir) / metrics_name
+    trace = pathlib.Path(out_dir) / (metrics_name + ".trace.json")
+    cmd = ([binary, f"--metrics={metrics}", f"--out={trace}"]
+           + SCENARIO + extra)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"fault-overhead check: {' '.join(cmd)} exited "
+              f"{proc.returncode}\n{proc.stderr}", file=sys.stderr)
+        sys.exit(2)
+    return metrics.read_bytes()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True,
+                        help="path to the bcdyn_trace binary")
+    parser.add_argument("--seed", default="123",
+                        help="fault plan seed for the armed-at-zero run")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="bcdyn_fault_overhead_") as tmp:
+        plain = run(args.binary, tmp, "plain.json", [])
+        armed = run(args.binary, tmp, "armed.json",
+                    [f"--faults={args.seed}:0.0"])
+
+    if plain != armed:
+        print("fault-overhead check failed: metrics JSON diverged between "
+              "a plain run and the injector armed at rate 0.0", file=sys.stderr)
+        plain_lines = plain.decode(errors="replace").splitlines()
+        armed_lines = armed.decode(errors="replace").splitlines()
+        for i, (a, b) in enumerate(zip(plain_lines, armed_lines), 1):
+            if a != b:
+                print(f"  first diff at line {i}:\n    plain: {a}\n"
+                      f"    armed: {b}", file=sys.stderr)
+                break
+        else:
+            print(f"  line counts differ: plain={len(plain_lines)} "
+                  f"armed={len(armed_lines)}", file=sys.stderr)
+        return 1
+    print(f"fault-overhead check ok: {len(plain)} metric bytes bit-identical "
+          "with the injector armed at rate 0.0")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Audits test sources for raw standard-library randomness.
+
+Randomized tests must route every random stream through BCDYN_SEEDED_RNG
+(tests/test_helpers.hpp), which both seeds util::Rng deterministically and
+attaches the seed to any failing assertion via a gtest ScopedTrace - the
+one fact needed to replay a randomized failure. A bare std::mt19937 or
+std::random_device stream gives neither: mt19937's distributions are not
+portable across standard libraries, and random_device is not replayable at
+all.
+
+This script greps tests/*.cpp for the banned spellings and fails with the
+offending file:line locations. Registered as the `seeded_rng_audit` ctest
+(label `cli`):
+
+    python3 scripts/check_seeded_rng.py --tests-dir tests
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+BANNED = re.compile(r"std::(mt19937(?:_64)?|random_device|minstd_rand0?"
+                    r"|default_random_engine|ranlux\w+|knuth_b)\b")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tests-dir", required=True,
+                        help="directory holding the test sources to audit")
+    args = parser.parse_args()
+
+    offenders = []
+    for path in sorted(pathlib.Path(args.tests_dir).glob("*.cpp")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//", 1)[0]  # prose may name the banned types
+            match = BANNED.search(code)
+            if match:
+                offenders.append(f"{path}:{lineno}: {match.group(0)} "
+                                 f"(use BCDYN_SEEDED_RNG / util::Rng)")
+
+    if offenders:
+        print("seeded-rng audit failed: raw standard-library randomness in "
+              "test sources", file=sys.stderr)
+        for offender in offenders:
+            print(f"  {offender}", file=sys.stderr)
+        return 1
+    print("seeded-rng audit ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -287,32 +287,43 @@ void DynamicBc::run_batch_kernels(const BatchSnapshots& batch,
                                   const BatchConfig& config,
                                   UpdateOutcome& outcome) {
   util::Stopwatch clock;
-  std::span<const SourceBatchOutcome> per_source;
-  CpuBatchResult cpu_result;
-  GpuBatchResult gpu_result;
-  ShardedBatchResult sharded_result;
+  const auto fold = [&outcome](std::span<const SourceBatchOutcome> per_source) {
+    for (const SourceBatchOutcome& o : per_source) {
+      outcome.case1 += o.case1;
+      outcome.case2 += o.case2;
+      outcome.case3 += o.case3;
+      if (o.recomputed) ++outcome.recomputed_sources;
+      outcome.max_touched = std::max(outcome.max_touched, o.touched_total);
+    }
+  };
   if (engine() == EngineKind::kCpu) {
     cpu_engine_->reset_counters();
-    cpu_result = batch_insert_update(*cpu_engine_, batch, store_, config);
-    per_source = cpu_result.outcomes;
+    const CpuBatchResult cpu_result =
+        batch_insert_update(*cpu_engine_, batch, store_, config);
+    fold(cpu_result.outcomes);
     outcome.modeled_seconds =
         sim::cpu_seconds(cost_model_, cpu_result.ops.instrs,
                          cpu_result.ops.reads, cpu_result.ops.writes);
-  } else if (sharded_) {
-    sharded_result = sharded_->insert_edge_batch(batch, store_, config);
-    per_source = sharded_result.outcomes;
-    outcome.modeled_seconds = sharded_result.launch.group.seconds;
   } else {
-    gpu_result = gpu_engine_->insert_edge_batch(batch, store_, config);
-    per_source = gpu_result.outcomes;
-    outcome.modeled_seconds = gpu_result.stats.seconds;
-  }
-  for (const SourceBatchOutcome& o : per_source) {
-    outcome.case1 += o.case1;
-    outcome.case2 += o.case2;
-    outcome.case3 += o.case3;
-    if (o.recomputed) ++outcome.recomputed_sources;
-    outcome.max_touched = std::max(outcome.max_touched, o.touched_total);
+    // Results are folded inside the attempt: a faulted attempt throws at
+    // launch entry, before any per-source outcome exists, so a retry never
+    // double-counts.
+    run_recovered(
+        "bc.batch",
+        [&] {
+          if (sharded_) {
+            const ShardedBatchResult sharded_result =
+                sharded_->insert_edge_batch(batch, store_, config);
+            fold(sharded_result.outcomes);
+            outcome.modeled_seconds = sharded_result.launch.group.seconds;
+          } else {
+            const GpuBatchResult gpu_result =
+                gpu_engine_->insert_edge_batch(batch, store_, config);
+            fold(gpu_result.outcomes);
+            outcome.modeled_seconds = gpu_result.stats.seconds;
+          }
+        },
+        outcome);
   }
   outcome.update_wall_seconds = clock.elapsed_s();
 }

@@ -151,10 +151,53 @@ double DynamicBc::recompute() {
     brandes_all(csr_, store_);
     return 0.0;
   }
+  // A faulted static pass retries whole (the engines reset the store at
+  // entry, so a re-run is idempotent); exhaustion propagates - there is
+  // nothing left to fall back to.
+  double modeled = 0.0;
+  detail::retry_faults(
+      "bc.recompute", options_.recovery, num_devices(),
+      [&] {
+        if (sharded_) {
+          modeled = sharded_->compute(csr_, store_).group.seconds;
+        } else {
+          modeled = gpu_static_->compute(csr_, store_).seconds;
+        }
+      },
+      [&](double cycles) { charge_backoff(cycles); });
+  return modeled;
+}
+
+void DynamicBc::charge_backoff(double cycles) {
   if (sharded_) {
-    return sharded_->compute(csr_, store_).group.seconds;
+    for (int d = 0; d < sharded_->num_devices(); ++d) {
+      sharded_->group().device(d).charge_fault_backoff(cycles);
+    }
+    return;
   }
-  return gpu_static_->compute(csr_, store_).seconds;
+  if (gpu_engine_) gpu_engine_->device().charge_fault_backoff(cycles);
+  if (gpu_static_) gpu_static_->device().charge_fault_backoff(cycles);
+}
+
+void DynamicBc::run_recovered(const char* what,
+                              const std::function<void()>& engine_pass,
+                              UpdateOutcome& outcome) {
+  try {
+    detail::retry_faults(what, options_.recovery, num_devices(), engine_pass,
+                         [&](double cycles) { charge_backoff(cycles); });
+  } catch (const sim::FaultError& error) {
+    if (!options_.recovery.fallback_recompute) throw;
+    detail::note_fault(what, error, "fallback_recompute", num_devices());
+    trace::metrics().add("bc.fault.fallback_recompute.count");
+    // The per-source patch is abandoned: recompute every source from
+    // scratch (retried inside recompute(); a second exhaustion there
+    // propagates, which is the hard-failure path tests exercise with
+    // rate-1.0 plans). Case counts stay zero - every fault site fires
+    // before the engine folds anything, so `outcome` still holds only the
+    // structure-phase fields it entered with.
+    outcome.modeled_seconds = recompute();
+    outcome.recomputed_sources = store_.num_sources();
+  }
 }
 
 UpdateOutcome DynamicBc::insert_edge(VertexId u, VertexId v) {
@@ -231,15 +274,20 @@ UpdateOutcome DynamicBc::run_update(VertexId u, VertexId v) {
     const CpuOpCounters& ops = cpu_engine_->counters();
     outcome.modeled_seconds =
         sim::cpu_seconds(cost_model_, ops.instrs, ops.reads, ops.writes);
-  } else if (sharded_) {
-    const ShardedUpdateResult r =
-        sharded_->insert_edge_update(csr_, store_, u, v);
-    fold_outcomes(r.outcomes, outcome);
-    outcome.modeled_seconds = r.launch.group.seconds;
   } else {
-    const GpuUpdateResult r = gpu_engine_->insert_edge_update(csr_, store_, u, v);
-    fold_outcomes(r.outcomes, outcome);
-    outcome.modeled_seconds = r.stats.seconds;
+    run_recovered("bc.insert", [&] {
+      if (sharded_) {
+        const ShardedUpdateResult r =
+            sharded_->insert_edge_update(csr_, store_, u, v);
+        fold_outcomes(r.outcomes, outcome);
+        outcome.modeled_seconds = r.launch.group.seconds;
+      } else {
+        const GpuUpdateResult r =
+            gpu_engine_->insert_edge_update(csr_, store_, u, v);
+        fold_outcomes(r.outcomes, outcome);
+        outcome.modeled_seconds = r.stats.seconds;
+      }
+    }, outcome);
   }
   outcome.update_wall_seconds = clock.elapsed_s();
   return outcome;
@@ -278,15 +326,20 @@ UpdateOutcome DynamicBc::remove_edge(VertexId u, VertexId v) {
     const CpuOpCounters& ops = cpu_engine_->counters();
     outcome.modeled_seconds =
         sim::cpu_seconds(cost_model_, ops.instrs, ops.reads, ops.writes);
-  } else if (sharded_) {
-    const ShardedUpdateResult r =
-        sharded_->remove_edge_update(csr_, store_, u, v);
-    fold_outcomes(r.outcomes, outcome);
-    outcome.modeled_seconds = r.launch.group.seconds;
   } else {
-    const GpuUpdateResult r = gpu_engine_->remove_edge_update(csr_, store_, u, v);
-    fold_outcomes(r.outcomes, outcome);
-    outcome.modeled_seconds = r.stats.seconds;
+    run_recovered("bc.remove", [&] {
+      if (sharded_) {
+        const ShardedUpdateResult r =
+            sharded_->remove_edge_update(csr_, store_, u, v);
+        fold_outcomes(r.outcomes, outcome);
+        outcome.modeled_seconds = r.launch.group.seconds;
+      } else {
+        const GpuUpdateResult r =
+            gpu_engine_->remove_edge_update(csr_, store_, u, v);
+        fold_outcomes(r.outcomes, outcome);
+        outcome.modeled_seconds = r.stats.seconds;
+      }
+    }, outcome);
   }
   outcome.inserted = 1;
   outcome.update_wall_seconds = clock.elapsed_s();

@@ -19,6 +19,7 @@
 // structure side).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -28,6 +29,7 @@
 
 #include "bc/adaptive_policy.hpp"
 #include "bc/bc_store.hpp"
+#include "bc/recovery.hpp"
 #include "bc/dynamic_cpu.hpp"
 #include "bc/dynamic_gpu.hpp"
 #include "bc/sharded_gpu.hpp"
@@ -84,6 +86,12 @@ class DynamicBc {
     /// seed, forced-mode override, exploration rate). Ignored by the
     /// fixed engines.
     AdaptiveConfig adaptive;
+    /// Reaction to injected runtime faults (bc/recovery.hpp): bounded
+    /// retries with deterministic modeled backoff, then an optional
+    /// static-recompute fallback. Irrelevant unless sim::faults() is
+    /// enabled (the CPU engine never faults - it has no simulated
+    /// runtime).
+    RecoveryPolicy recovery;
   };
 
   /// Snapshot `g`; the analytic owns its own dynamic copy of the graph.
@@ -159,6 +167,19 @@ class DynamicBc {
  private:
   UpdateOutcome run_update(VertexId u, VertexId v);
   double recompute();
+  /// Charges deterministic modeled backoff cycles to every device the GPU
+  /// engines run on (no-op for the CPU engine).
+  void charge_backoff(double cycles);
+  /// Runs one engine pass under the RecoveryPolicy: bounded retries; when
+  /// those exhaust and the policy allows it, falls back to a full static
+  /// recompute (itself retried, with no further fallback), resetting
+  /// `outcome`'s analytic fields to the recompute attribution. Every fault
+  /// site fires before the pass mutates analytic state, so a retried pass
+  /// folds deltas in the original order. Shared by run_update, remove_edge,
+  /// and run_batch_kernels.
+  void run_recovered(const char* what,
+                     const std::function<void()>& engine_pass,
+                     UpdateOutcome& outcome);
   /// Structure phase of a batch insertion: admits edges into the dynamic
   /// graph, builds the incremental snapshots, and advances csr_ to the
   /// batch's final graph. Fills outcome.inserted/skipped/

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "bc/dynamic_bc.hpp"
+#include "bc/recovery.hpp"
 #include "bc/sharded_gpu.hpp"
 #include "gpusim/stream.hpp"
 #include "trace/metrics.hpp"
@@ -155,8 +156,14 @@ PipelineResult DynamicBc::insert_edge_batches(
     for (std::size_t d = 0; d < devs.size(); ++d) {
       uploads[d].wait_event(slot);
       uploads[d].wait_event(staged);
-      const sim::TransferStats t =
-          uploads[d].memcpy_h2d(up_bytes, "pipeline.upload");
+      // A faulted transfer still occupied its copy engine; the retry
+      // re-issues behind it. Transfers have no fallback - exhaustion
+      // propagates the FaultError to the caller.
+      sim::TransferStats t{};
+      detail::retry_faults(
+          "bc.pipeline.upload", options_.recovery, num_devices(),
+          [&] { t = uploads[d].memcpy_h2d(up_bytes, "pipeline.upload"); },
+          [&](double cycles) { devs[d]->charge_fault_backoff(cycles); });
       upload_duration = t.end_cycles - t.start_cycles;
       res.h2d_bytes += up_bytes;
       devs[d]->wait_compute_until(t.end_cycles);
@@ -174,8 +181,11 @@ PipelineResult DynamicBc::insert_edge_batches(
     for (std::size_t d = 0; d < devs.size(); ++d) {
       downloads[d].wait_event(sim::Event::at(devs[d]->compute_end_cycles()));
       if (config.download_scores) {
-        const sim::TransferStats t =
-            downloads[d].memcpy_d2h(down_bytes, "pipeline.scores");
+        sim::TransferStats t{};
+        detail::retry_faults(
+            "bc.pipeline.scores", options_.recovery, num_devices(),
+            [&] { t = downloads[d].memcpy_d2h(down_bytes, "pipeline.scores"); },
+            [&](double cycles) { devs[d]->charge_fault_backoff(cycles); });
         download_duration = t.end_cycles - t.start_cycles;
         res.d2h_bytes += down_bytes;
       }

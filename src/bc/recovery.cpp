@@ -1,0 +1,35 @@
+#include "bc/recovery.hpp"
+
+#include <string>
+
+#include "trace/telemetry.hpp"
+#include "trace/trace.hpp"
+
+namespace bcdyn::detail {
+
+void note_fault(const char* what, const sim::FaultError& error,
+                const char* action, int devices) {
+  const sim::FaultRecord& record = error.record();
+  auto& reg = trace::metrics();
+  reg.add("bc.fault.caught.count");
+  reg.add(std::string("bc.fault.caught.") +
+          std::string(sim::to_string(record.kind)));
+
+  auto& tr = trace::tracer();
+  if (tr.enabled()) {
+    tr.instant(std::string("bc.fault.") + action, "fault",
+               {{"seq", static_cast<double>(record.seq)}});
+  }
+
+  auto& tel = trace::telemetry();
+  if (tel.enabled()) {
+    trace::AnomalyEvent event;
+    event.seq = record.seq;
+    event.sample.engine = what;
+    event.sample.devices = devices;
+    event.detail = record.to_string() + " -> " + action;
+    tel.flag_fault(std::move(event));
+  }
+}
+
+}  // namespace bcdyn::detail

@@ -1,5 +1,6 @@
 #include "bc/session.hpp"
 
+#include "gpusim/fault_injector.hpp"
 #include "gpusim/hazard_detector.hpp"
 #include "trace/metrics.hpp"
 #include "trace/report.hpp"
@@ -17,6 +18,7 @@ DynamicBc::Options Options::analytic_options() const {
       .track_atomic_conflicts = track_atomic_conflicts,
       .batch_recompute_threshold = batch_recompute_threshold,
       .adaptive = adaptive,
+      .recovery = recovery,
   };
 }
 
@@ -26,6 +28,7 @@ Session::Session(const CSRGraph& g, const Options& options)
   saved_.hazards = sim::hazards().enabled();
   saved_.strict = sim::hazards().strict();
   saved_.telemetry = trace::telemetry().enabled();
+  saved_.faults = sim::faults().enabled();
 
   const Runtime& rt = options.runtime;
   trace::tracer().set_enabled(rt.tracing);
@@ -33,6 +36,8 @@ Session::Session(const CSRGraph& g, const Options& options)
   sim::hazards().set_strict(rt.strict_hazards);
   if (rt.telemetry) trace::telemetry().configure(rt.telemetry_config);
   trace::telemetry().set_enabled(rt.telemetry);
+  if (rt.fault_injection) sim::faults().configure(rt.fault_plan);
+  sim::faults().set_enabled(rt.fault_injection);
 
   bc_ = std::make_unique<DynamicBc>(g, options.analytic_options());
 }
@@ -46,6 +51,9 @@ Session::~Session() {
   // read snapshots/exposition after the session ends. Any later session
   // that enables telemetry installs its own configuration first.
   trace::telemetry().set_enabled(saved_.telemetry);
+  // Same deal for the fault plan: only the enable toggle is restored, so
+  // the injector's record of what fired stays readable after the session.
+  sim::faults().set_enabled(saved_.faults);
 }
 
 PipelineResult Session::insert_edge_batches(

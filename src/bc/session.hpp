@@ -35,6 +35,7 @@
 
 #include "bc/dynamic_bc.hpp"
 #include "bc/pipeline.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "trace/telemetry.hpp"
 
 namespace bcdyn::bc {
@@ -55,6 +56,11 @@ struct Runtime {
   /// on, `telemetry_config` replaces the registry's configuration.
   bool telemetry = false;
   trace::TelemetryConfig telemetry_config;
+  /// sim::faults(): deterministic fault injection on the simulated runtime
+  /// (gpusim/fault_injector.hpp). When turned on, `fault_plan` replaces
+  /// the injector's plan. The analytic reacts through Options::recovery.
+  bool fault_injection = false;
+  sim::FaultPlan fault_plan;
 };
 
 /// Everything configurable about a Session, in one aggregate. The analytic
@@ -69,6 +75,9 @@ struct Options {
   bool track_atomic_conflicts = false;
   double batch_recompute_threshold = 0.25;
   AdaptiveConfig adaptive;
+  /// Reaction to injected faults (retries, modeled backoff, recompute
+  /// fallback); only meaningful with runtime.fault_injection on.
+  RecoveryPolicy recovery;
 
   /// insert_edge_batches staging depth (1 = synchronous chain; 2 = double
   /// buffering). Forwarded into PipelineConfig.
@@ -141,6 +150,7 @@ class Session {
     bool hazards = false;
     bool strict = false;
     bool telemetry = false;
+    bool faults = false;
   };
 
   Options options_;

@@ -37,6 +37,7 @@ class StaticGpuBc {
                            int num_blocks = 0);
 
   const sim::DeviceSpec& spec() const { return device_.spec(); }
+  sim::Device& device() { return device_; }
 
   /// Adaptive parallelism: when set, every launch plans a per-source
   /// edge/node decision through the policy (and feeds measured modeled

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "gpusim/fault_injector.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 #include "trace/validate.hpp"
@@ -181,8 +182,27 @@ KernelStats Device::record_scheduled_launch(
   return stats;
 }
 
+// Abort checks run at launch entry, before any block executes: a retried
+// launch then re-runs every block in the original order, so recovered
+// scores fold bit-identically to a fault-free run.
+void Device::check_launch_abort(std::string_view name) {
+  auto& injector = faults();
+  if (!injector.enabled()) return;
+  std::string site = fault_domain_;
+  site += ".launch.";
+  site += name.empty() ? std::string_view("kernel") : name;
+  FaultRecord fired;
+  if (injector.should_abort_launch(site, &fired)) {
+    // The aborted attempt still occupied the SM array for the plan's
+    // penalty window before the modeled runtime noticed.
+    charge_fault_backoff(injector.plan().abort_penalty_cycles);
+    throw FaultError(std::move(fired));
+  }
+}
+
 KernelStats Device::launch(int num_blocks, const Kernel& kernel,
                            std::string_view name) {
+  check_launch_abort(name);
   std::vector<BlockContext> contexts;
   contexts.reserve(static_cast<std::size_t>(num_blocks));
   for (int b = 0; b < num_blocks; ++b) {
@@ -206,6 +226,7 @@ KernelStats Device::launch(int num_blocks, const Kernel& kernel,
 KernelStats Device::launch_queue(int num_jobs, const JobKernel& kernel,
                                  std::vector<BlockCounters>* per_job,
                                  std::string_view name) {
+  check_launch_abort(name);
   const int lanes = std::max(1, std::min(spec_.num_sms, num_jobs));
   std::vector<BlockContext> contexts;
   contexts.reserve(static_cast<std::size_t>(std::max(num_jobs, 0)));

@@ -167,11 +167,35 @@ class Device {
   /// The pid this device's modeled timeline uses in the process trace.
   int trace_pid() const { return trace_pid_; }
 
+  // --- fault injection (gpusim/fault_injector.hpp) ----------------------
+  // Fault sites are keyed by this domain string ("dev" standalone,
+  // "dev0".."devN-1" inside a DeviceGroup) - NOT the trace pid, which
+  // comes from a process-lifetime counter and would break replay. launch()
+  // and launch_queue() poll "<domain>.launch.<name>" at entry (before any
+  // host execution), record_transfer polls "<domain>.h2d"/"<domain>.d2h".
+
+  void set_fault_domain(std::string domain) {
+    fault_domain_ = std::move(domain);
+  }
+  const std::string& fault_domain() const { return fault_domain_; }
+
+  /// Advances the SM-array timeline by `cycles`: the deterministic modeled
+  /// backoff the bc recovery layer charges before re-issuing faulted work.
+  /// Pure cycle arithmetic; never blocks the host.
+  void charge_fault_backoff(double cycles) {
+    if (cycles > 0.0) timeline_origin_cycles_ += cycles;
+  }
+
  private:
   KernelStats finish_launch(std::string_view name, std::string_view cat,
                             int num_blocks,
                             const std::vector<BlockContext>& contexts,
                             double setup_cycles, double dispatch_cycles);
+
+  /// Polls the injector for a kernel abort at "<domain>.launch.<name>";
+  /// a fired abort charges the plan's penalty cycles to the SM timeline
+  /// and throws FaultError before any block executes.
+  void check_launch_abort(std::string_view name);
 
   DeviceSpec spec_;
   CostModel cost_;
@@ -185,6 +209,7 @@ class Device {
   double h2d_end_cycles_ = 0.0;          // upload copy-engine frontier
   double d2h_end_cycles_ = 0.0;          // download copy-engine frontier
   int num_streams_ = 0;
+  std::string fault_domain_ = "dev";     // replay-stable fault-site prefix
 };
 
 /// Computes the makespan of `block_cycles` over `num_sms` SMs under the

@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "gpusim/fault_injector.hpp"
 #include "trace/metrics.hpp"
 #include "trace/validate.hpp"
 
@@ -19,6 +20,7 @@ DeviceGroup::DeviceGroup(int num_devices, DeviceSpec spec, CostModel cost,
     throw std::invalid_argument("DeviceGroup needs at least one device");
   }
   devices_.reserve(static_cast<std::size_t>(num_devices));
+  lost_.assign(static_cast<std::size_t>(num_devices), 0);
   for (int d = 0; d < num_devices; ++d) {
     DeviceSpec named = spec;
     if (num_devices > 1) {
@@ -26,7 +28,77 @@ DeviceGroup::DeviceGroup(int num_devices, DeviceSpec spec, CostModel cost,
     }
     devices_.push_back(std::make_unique<Device>(
         std::move(named), cost, /*host_workers=*/0, track_atomic_conflicts));
+    // Group position, not trace pid: fault sites must replay across runs.
+    devices_.back()->set_fault_domain("dev" + std::to_string(d));
   }
+}
+
+int DeviceGroup::num_alive() const {
+  int alive = 0;
+  for (char dead : lost_) alive += dead ? 0 : 1;
+  return alive;
+}
+
+std::vector<int> DeviceGroup::apply_faults(std::span<const int> initial_device,
+                                           std::string_view name,
+                                           int* resharded_jobs,
+                                           int* lost_devices) {
+  auto& injector = faults();
+  auto& reg = trace::metrics();
+  // Loss polls: one per live device, in device order, so each device's
+  // decision stream depends only on how many group launches it survived.
+  for (int d = 0; d < num_devices(); ++d) {
+    if (device_lost(d)) continue;
+    if (injector.should_lose_device(device(d).fault_domain() + ".loss")) {
+      lost_[static_cast<std::size_t>(d)] = 1;
+      ++*lost_devices;
+    }
+  }
+  std::vector<int> alive;
+  for (int d = 0; d < num_devices(); ++d) {
+    if (!device_lost(d)) alive.push_back(d);
+  }
+  if (*lost_devices > 0) {
+    reg.add("sim.group.lost_devices",
+            static_cast<std::uint64_t>(*lost_devices));
+  }
+  // Gauge only once a loss has happened: a fault-free run must leave the
+  // registry byte-identical to one with the injector disabled.
+  if (static_cast<int>(alive.size()) < num_devices()) {
+    reg.set_gauge("sim.group.alive_devices",
+                  static_cast<double>(alive.size()));
+  }
+  if (alive.empty()) {
+    throw FaultError({FaultKind::kDeviceLoss, "group.all_lost", 0});
+  }
+
+  // Whole-launch abort: the group analogue of Device::check_launch_abort,
+  // polled once per group launch (the per-device abort sites belong to
+  // stand-alone launches and never fire here).
+  std::string site = "group.launch.";
+  site += name.empty() ? std::string_view("kernel") : name;
+  FaultRecord fired;
+  if (injector.should_abort_launch(site, &fired)) {
+    for (int d : alive) {
+      device(d).charge_fault_backoff(injector.plan().abort_penalty_cycles);
+    }
+    throw FaultError(std::move(fired));
+  }
+
+  // Reshard jobs homed on lost devices round-robin over the survivors.
+  std::vector<int> shard(initial_device.begin(), initial_device.end());
+  for (std::size_t j = 0; j < shard.size(); ++j) {
+    const int d = shard[j];
+    if (d >= 0 && d < num_devices() && device_lost(d)) {
+      shard[j] = alive[j % alive.size()];
+      ++*resharded_jobs;
+    }
+  }
+  if (*resharded_jobs > 0) {
+    reg.add("sim.group.resharded_jobs",
+            static_cast<std::uint64_t>(*resharded_jobs));
+  }
+  return shard;
 }
 
 GroupLaunchResult schedule_group(const std::vector<double>& job_cycles,
@@ -151,6 +223,19 @@ GroupLaunchResult DeviceGroup::launch_sharded(
         "launch_sharded: priority must be empty or one entry per job");
   }
 
+  // Fault injection runs first - loss polls, the group abort check, and
+  // lost-home resharding all happen before any host execution, so a
+  // thrown FaultError leaves analytic state untouched and a retried
+  // launch folds results in the original order.
+  int resharded_jobs = 0;
+  int lost_now = 0;
+  std::span<const int> shard = initial_device;
+  std::vector<int> remapped;
+  if (faults().enabled()) {
+    remapped = apply_faults(initial_device, name, &resharded_jobs, &lost_now);
+    shard = remapped;
+  }
+
   // Host execution: job-id order, one context per job, independent of the
   // modeled schedule below - results never depend on the device count.
   std::vector<BlockContext> contexts;
@@ -164,9 +249,48 @@ GroupLaunchResult DeviceGroup::launch_sharded(
   job_cycles.reserve(contexts.size());
   for (const auto& ctx : contexts) job_cycles.push_back(ctx.cycles());
 
-  GroupLaunchResult result =
-      schedule_group(job_cycles, initial_device, priority, num_devices(),
-                     spec().num_sms, cost_model());
+  // The modeled schedule runs over the surviving devices only: compact
+  // their ids to 0..A-1 (schedule_group grants every device SMs), then map
+  // the placements back to real device ids. With every device alive this
+  // is the exact pre-fault code path.
+  std::vector<int> alive_ids;
+  for (int d = 0; d < num_devices(); ++d) {
+    if (!device_lost(d)) alive_ids.push_back(d);
+  }
+  GroupLaunchResult result;
+  if (static_cast<int>(alive_ids.size()) == num_devices()) {
+    result = schedule_group(job_cycles, shard, priority, num_devices(),
+                            spec().num_sms, cost_model());
+  } else {
+    std::vector<int> compact_of(static_cast<std::size_t>(num_devices()), -1);
+    for (std::size_t i = 0; i < alive_ids.size(); ++i) {
+      compact_of[static_cast<std::size_t>(alive_ids[i])] =
+          static_cast<int>(i);
+    }
+    std::vector<int> compact_shard(shard.size());
+    for (std::size_t j = 0; j < shard.size(); ++j) {
+      compact_shard[j] = compact_of[static_cast<std::size_t>(shard[j])];
+    }
+    result = schedule_group(job_cycles, compact_shard, priority,
+                            static_cast<int>(alive_ids.size()),
+                            spec().num_sms, cost_model());
+    for (auto& p : result.placements) {
+      p.device = alive_ids[static_cast<std::size_t>(p.device)];
+    }
+    std::vector<KernelStats> full_stats(
+        static_cast<std::size_t>(num_devices()));
+    std::vector<int> full_jobs(static_cast<std::size_t>(num_devices()), 0);
+    for (std::size_t i = 0; i < alive_ids.size(); ++i) {
+      full_stats[static_cast<std::size_t>(alive_ids[i])] =
+          result.per_device[i];
+      full_jobs[static_cast<std::size_t>(alive_ids[i])] =
+          result.jobs_per_device[i];
+    }
+    result.per_device = std::move(full_stats);
+    result.jobs_per_device = std::move(full_jobs);
+  }
+  result.resharded_jobs = resharded_jobs;
+  result.lost_devices = lost_now;
 
   // Record one launch per participating device: its timeline (placement
   // indices renumbered locally - the validators require 0..m-1 per launch),

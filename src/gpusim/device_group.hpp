@@ -56,6 +56,11 @@ struct GroupLaunchResult {
   std::vector<GroupJobPlacement> placements;  // indexed by job id
   std::vector<int> jobs_per_device;           // executed there, incl. stolen
   int steals = 0;
+  // Fault injection (zero unless a plan is active): jobs whose home device
+  // was lost and were remapped onto survivors for this launch, and devices
+  // that the loss poll at this launch's entry newly marked dead.
+  int resharded_jobs = 0;
+  int lost_devices = 0;
 };
 
 class DeviceGroup {
@@ -107,9 +112,31 @@ class DeviceGroup {
                                    std::vector<BlockCounters>* per_job = nullptr,
                                    std::string_view name = {});
 
+  // --- fault injection (gpusim/fault_injector.hpp) ----------------------
+  // launch_sharded polls "devD.loss" for every live device at entry (then
+  // "group.launch.<name>" for a whole-launch abort) before any host
+  // execution. A lost device is dead for the group's lifetime: its homed
+  // jobs reshard round-robin across survivors and the modeled schedule
+  // runs over the survivors only. Host execution stays in job-id order, so
+  // recovered scores are bit-identical to a loss-free run.
+
+  /// True once fault injection marked device `i` lost.
+  bool device_lost(int i) const {
+    return lost_[static_cast<std::size_t>(i)] != 0;
+  }
+  int num_alive() const;
+
  private:
+  /// Polls loss + abort sites and remaps lost-homed jobs; returns the
+  /// (possibly remapped) shard and fills the reshard counters. Throws
+  /// FaultError when every device is lost or the group launch aborts.
+  std::vector<int> apply_faults(std::span<const int> initial_device,
+                                std::string_view name, int* resharded_jobs,
+                                int* lost_devices);
+
   std::vector<std::unique_ptr<Device>> devices_;
   bool track_conflicts_;
+  std::vector<char> lost_;  // 1 = dead to fault injection, permanently
 };
 
 /// The deterministic scheduling core behind launch_sharded, exposed for

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "gpusim/fault_injector.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 #include "trace/validate.hpp"
@@ -100,14 +101,34 @@ Device::TransferRecord Device::record_transfer(int stream_id,
   // One DMA engine per direction (the C2075's two async engines): same-
   // direction transfers queue, opposite directions overlap.
   double& engine_end = host_to_device ? h2d_end_cycles_ : d2h_end_cycles_;
+  const char* dir_name = host_to_device ? "h2d" : "d2h";
   TransferRecord r;
   r.start_cycles = std::max(engine_end, not_before_cycles);
   r.wait_cycles = r.start_cycles - not_before_cycles;
+
+  // Fault injection: a stall delays the engine grant (added modeled
+  // latency before the DMA starts); a failure occupies the engine for the
+  // full transfer window - the data never landed, but the bus time was
+  // spent - and throws before the caller's stream observes completion.
+  auto& injector = faults();
+  if (injector.enabled()) {
+    const std::string site = fault_domain_ + "." + dir_name;
+    const double stall = injector.stall_cycles(site);
+    if (stall > 0.0) {
+      r.start_cycles += stall;
+      r.wait_cycles += stall;
+    }
+    FaultRecord fired;
+    if (injector.should_fail_transfer(site, &fired)) {
+      engine_end = r.start_cycles + transfer_cycles(cost_, dir, bytes);
+      throw FaultError(std::move(fired));
+    }
+  }
+
   r.end_cycles = r.start_cycles + transfer_cycles(cost_, dir, bytes);
   engine_end = r.end_cycles;
 
   auto& reg = trace::metrics();
-  const char* dir_name = host_to_device ? "h2d" : "d2h";
   reg.add("sim.copy.transfers");
   reg.add(std::string("sim.copy.") + dir_name + ".transfers");
   reg.add(std::string("sim.copy.") + dir_name + ".bytes", bytes);

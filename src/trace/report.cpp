@@ -289,6 +289,50 @@ void write_report(const std::vector<TraceEvent>& events,
     }
   }
 
+  // --- fault injection & recovery (opt-in, gpusim/fault_injector.hpp) --
+  // Only rendered when the injector fired or the bc layer caught a fault:
+  // with sim::faults() disabled neither counter exists and the report is
+  // byte-identical to a plain run.
+  const std::uint64_t injected =
+      registry.counter_value("sim.fault.injected.count");
+  const std::uint64_t caught = registry.counter_value("bc.fault.caught.count");
+  if (injected > 0 || caught > 0) {
+    out << "\n== faults ==\n";
+    out << "  " << injected << " injected (";
+    const char* kinds[] = {"transfer_fail", "stream_stall", "kernel_abort",
+                           "device_loss"};
+    bool first = true;
+    for (const char* kind : kinds) {
+      if (!first) out << ", ";
+      first = false;
+      out << registry.counter_value("sim.fault.injected." + std::string(kind))
+          << " " << kind;
+    }
+    out << ")\n";
+    out << "  recovery: " << caught << " caught, "
+        << registry.counter_value("bc.fault.retries.count") << " retries, "
+        << registry.counter_value("bc.fault.recovered.count")
+        << " recovered, "
+        << registry.counter_value("bc.fault.fallback_recompute.count")
+        << " recompute fallbacks, "
+        << registry.counter_value("bc.fault.exhausted.count")
+        << " exhausted\n";
+    const auto backoff = registry.histogram("bc.fault.backoff_cycles");
+    if (backoff.count > 0) {
+      out << "  modeled backoff: mean " << fmt("%.0f", backoff.mean())
+          << " cycles, max " << fmt("%.0f", backoff.max) << " over "
+          << backoff.count << " retries\n";
+    }
+    const std::uint64_t lost = registry.counter_value("sim.group.lost_devices");
+    if (lost > 0) {
+      out << "  device loss: " << lost << " devices lost, "
+          << registry.counter_value("sim.group.resharded_jobs")
+          << " jobs resharded onto "
+          << fmt("%.0f", registry.gauge_value("sim.group.alive_devices"))
+          << " survivors\n";
+    }
+  }
+
   // --- adaptive policy (gpu-adaptive engine only) --------------------
   // Only rendered when a ParallelismPolicy made decisions: fixed-engine
   // runs emit no bc.adaptive.* counters and their report is unchanged.

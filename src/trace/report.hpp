@@ -14,9 +14,11 @@
 //   5. == case mix (per source x update) ==  always
 //   6. == atomic-conflict hotspots ==      always
 //   7. == hazard detection ==              (opt-in: sim.hazard.launches)
-//   8. == adaptive policy ==               (opt-in: bc.adaptive.decisions)
-//   9. == stream telemetry ==              (opt-in: telemetry updates)
-//  10. == BFS frontier sizes ==            (opt-in: bc.frontier_size)
+//   8. == faults ==                        (opt-in: sim.fault.injected /
+//                                           bc.fault.caught)
+//   9. == adaptive policy ==               (opt-in: bc.adaptive.decisions)
+//  10. == stream telemetry ==              (opt-in: telemetry updates)
+//  11. == BFS frontier sizes ==            (opt-in: bc.frontier_size)
 #pragma once
 
 #include <iosfwd>

@@ -86,6 +86,15 @@ StreamTelemetry& telemetry() {
 
 std::string AnomalyEvent::to_jsonl() const {
   std::ostringstream out;
+  if (type == Type::kFault) {
+    // Fault events carry no latency attribution; `detail` is built from
+    // fault sites and recovery action names ([a-z0-9._ #] only), so no
+    // JSON escaping is needed.
+    out << "{\"type\": \"fault\", \"seq\": " << seq << ", \"engine\": \""
+        << sample.engine << "\", \"devices\": " << sample.devices
+        << ", \"detail\": \"" << detail << "\"}";
+    return out.str();
+  }
   out << "{\"type\": \""
       << (type == Type::kSpike ? "spike" : "slo_breach") << "\""
       << ", \"seq\": " << seq << ", \"kind\": \"" << to_string(sample.kind)
@@ -121,6 +130,7 @@ void StreamTelemetry::configure(const TelemetryConfig& config) {
   seq_ = 0;
   spikes_ = 0;
   slo_breaches_ = 0;
+  faults_ = 0;
   slo_violated_ = false;
   have_ewma_ = false;
   ewma_seconds_ = 0.0;
@@ -150,6 +160,7 @@ void StreamTelemetry::clear() {
   seq_ = 0;
   spikes_ = 0;
   slo_breaches_ = 0;
+  faults_ = 0;
   slo_violated_ = false;
   have_ewma_ = false;
   ewma_seconds_ = 0.0;
@@ -179,9 +190,12 @@ void StreamTelemetry::flag_locked(AnomalyEvent event) {
   if (event.type == AnomalyEvent::Type::kSpike) {
     ++spikes_;
     metrics().add("bc.telemetry.spikes.count");
-  } else {
+  } else if (event.type == AnomalyEvent::Type::kSloBreach) {
     ++slo_breaches_;
     metrics().add("bc.telemetry.slo_breach.count");
+  } else {
+    ++faults_;
+    metrics().add("bc.telemetry.faults.count");
   }
   if (sink_ != nullptr) {
     *sink_ << event.to_jsonl() << "\n";
@@ -274,6 +288,18 @@ std::uint64_t StreamTelemetry::spike_count() const {
 std::uint64_t StreamTelemetry::slo_breach_count() const {
   std::lock_guard lock(mu_);
   return slo_breaches_;
+}
+
+std::uint64_t StreamTelemetry::fault_count() const {
+  std::lock_guard lock(mu_);
+  return faults_;
+}
+
+void StreamTelemetry::flag_fault(AnomalyEvent event) {
+  std::lock_guard lock(mu_);
+  if (!enabled_) return;
+  event.type = AnomalyEvent::Type::kFault;
+  flag_locked(std::move(event));
 }
 
 std::vector<AnomalyEvent> StreamTelemetry::events() const {

@@ -74,10 +74,13 @@ struct UpdateSample {
   double wall_seconds = 0.0;       // attribution only, never gates
 };
 
-/// A flagged update: either a latency spike (> spike_factor x running
-/// median) or a windowed-p99 SLO breach.
+/// A flagged update: a latency spike (> spike_factor x running median), a
+/// windowed-p99 SLO breach, or an injected fault the bc recovery layer
+/// handled (kFault events come through flag_fault(), not record(); `seq`
+/// is then the injector's per-site decision index and `detail` carries the
+/// fault record plus the recovery action taken).
 struct AnomalyEvent {
-  enum class Type { kSpike, kSloBreach };
+  enum class Type { kSpike, kSloBreach, kFault };
 
   Type type = Type::kSpike;
   std::uint64_t seq = 0;  // update sequence number (1-based)
@@ -86,6 +89,7 @@ struct AnomalyEvent {
   double ewma_seconds = 0.0;    // EWMA baseline when flagged
   double window_p99 = 0.0;      // windowed p99 (SLO breaches)
   double threshold_seconds = 0.0;
+  std::string detail;           // kFault only: fault site + recovery action
 
   /// One-line JSON record (stable keys, parseable by trace::parse_json).
   std::string to_jsonl() const;
@@ -135,9 +139,16 @@ class StreamTelemetry {
   /// metrics registry and writes flagged updates to the JSONL sink.
   void record(const UpdateSample& sample);
 
+  /// Folds one handled-fault event (type forced to kFault) into the event
+  /// log, the JSONL sink, and bc.telemetry.faults.count. No-op when
+  /// disabled. Called by the bc recovery layer; fault events never touch
+  /// the latency windows or the spike/SLO state.
+  void flag_fault(AnomalyEvent event);
+
   std::uint64_t total_updates() const;
   std::uint64_t spike_count() const;
   std::uint64_t slo_breach_count() const;
+  std::uint64_t fault_count() const;
   std::vector<AnomalyEvent> events() const;
 
   /// Streaming sink for flagged updates (one JSONL line each, written as
@@ -182,6 +193,7 @@ class StreamTelemetry {
   std::uint64_t seq_ = 0;
   std::uint64_t spikes_ = 0;
   std::uint64_t slo_breaches_ = 0;
+  std::uint64_t faults_ = 0;
   bool slo_violated_ = false;
   bool have_ewma_ = false;
   double ewma_seconds_ = 0.0;

@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <random>
+#include <span>
 
 #include "bc/batch_update.hpp"
 #include "bc/brandes.hpp"
@@ -142,8 +142,8 @@ TEST(BatchUpdate, BatchIsOrderIndependent) {
   forward.compute();
   forward.insert_edge_batch(edges);
 
-  std::mt19937 shuffle_rng(7);
-  std::shuffle(edges.begin(), edges.end(), shuffle_rng);
+  BCDYN_SEEDED_RNG(shuffle_rng, 7);
+  shuffle_rng.shuffle(std::span<std::pair<VertexId, VertexId>>(edges));
   DynamicBc shuffled(g, {.engine = EngineKind::kGpuNode, .approx = cfg});
   shuffled.compute();
   shuffled.insert_edge_batch(edges);

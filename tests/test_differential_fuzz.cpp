@@ -16,8 +16,10 @@
 
 #include "bc/batch_update.hpp"
 #include "bc/brandes.hpp"
+#include "bc/dynamic_bc.hpp"
 #include "bc/dynamic_cpu.hpp"
 #include "bc/dynamic_gpu.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "gen/suite.hpp"
 #include "test_helpers.hpp"
 #include "trace/metrics.hpp"
@@ -162,6 +164,81 @@ TEST_P(DifferentialFuzz, AllPathsMatchFreshRecomputeAfterEveryStep) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Suite, DifferentialFuzz,
+                         ::testing::ValuesIn(gen::suite_names()),
+                         [](const auto& info) { return info.param; });
+
+// --- fault-injecting mode -------------------------------------------------
+// The same differential idea with the deterministic fault injector live
+// (gpusim/fault_injector.hpp): a GPU-engine DynamicBc rides a seeded
+// insertion stream while kernel aborts, stalls, and device-loss polls fire
+// per its plan, recovering through bounded retries. The CPU-engine
+// DynamicBc never touches the simulated runtime and is the fault-free
+// reference; after every step the recovered GPU scores must stay in
+// numeric parity with it. Strict hazard detection stays on throughout, so
+// a retried launch that replayed into dirty state would be flagged as a
+// hazard or a divergence at the exact step.
+
+class FaultedDifferentialFuzz : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(FaultedDifferentialFuzz, RecoveredGpuMatchesCpuReferenceEveryStep) {
+  test::HazardScope hazard_scope(/*strict=*/true);
+  const std::string gen_name = GetParam();
+  const auto entry = gen::build_suite_graph(gen_name, kScale, 977);
+  const ApproxConfig cfg{.num_sources = kNumSources, .seed = 31};
+
+  DynamicBc cpu(entry.graph, {.engine = EngineKind::kCpu, .approx = cfg});
+  DynamicBc gpu(entry.graph,
+                {.engine = EngineKind::kGpuEdge,
+                 .approx = cfg,
+                 .num_devices = 2,
+                 .recovery = {.max_retries = 10,
+                              .fallback_recompute = false}});
+  cpu.compute();
+
+  // RAII so a failed assertion cannot leak an armed injector into the
+  // other fuzz cases.
+  struct FaultScope {
+    explicit FaultScope(const sim::FaultPlan& plan) {
+      sim::faults().configure(plan);
+      sim::faults().set_enabled(true);
+    }
+    ~FaultScope() { sim::faults().set_enabled(false); }
+  };
+  // No device loss here: the seed mixes std::hash, which varies across
+  // standard libraries, and losing BOTH devices is unrecoverable by
+  // design - an all_lost throw would be a platform-dependent flake, not a
+  // parity failure. Loss/resharding has its own deterministic fixtures in
+  // the chaos suite (test_fault_injection.cpp).
+  sim::FaultPlan plan;
+  plan.seed = 0xD1FF ^ std::hash<std::string>{}(gen_name);
+  plan.kernel_abort_rate = 0.2;
+  plan.stall_rate = 0.2;
+  const FaultScope fault_scope(plan);
+
+  gpu.compute();
+  BCDYN_SEEDED_RNG(rng, 979 + std::hash<std::string>{}(gen_name) % 1000);
+  for (int step = 0; step < 16; ++step) {
+    const auto [u, v] = test::random_absent_edge(cpu.graph(), rng);
+    if (u == kNoVertex) break;
+    cpu.insert_edge(u, v);
+    gpu.insert_edge(u, v);
+    const auto want = cpu.scores();
+    const auto got = gpu.scores();
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t x = 0; x < got.size(); ++x) {
+      ASSERT_NEAR(got[x], want[x], 1e-6 * std::max(1.0, std::abs(want[x])))
+          << "recovered GPU scores diverged from the CPU reference at step "
+          << step << " vertex " << x;
+    }
+  }
+  EXPECT_GT(sim::faults().injected(), 0u)
+      << "fault plan fired nothing - the mode tested a plain run";
+  EXPECT_EQ(sim::hazards().violations(), 0u)
+      << "recovery replayed a launch into inconsistent shadow state";
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, FaultedDifferentialFuzz,
                          ::testing::ValuesIn(gen::suite_names()),
                          [](const auto& info) { return info.param; });
 

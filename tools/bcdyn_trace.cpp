@@ -58,6 +58,7 @@
 #include "bc/session.hpp"
 #include "gen/suite.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "gpusim/hazard_detector.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/json.hpp"
@@ -91,6 +92,7 @@ struct Options {
   std::string telemetry_prom_out;    // Prometheus text exposition
   double slo_p99 = 0.0;              // windowed-p99 budget, seconds (0=off)
   double spike_factor = 8.0;         // anomaly gate vs running median
+  std::string faults;  // "SEED[:RATE]": deterministic fault injection
   bool selftest = false;
 };
 
@@ -377,6 +379,95 @@ int selftest() {
     problems.push_back("telemetry: disabled layer still recorded updates");
   }
 
+  // --- fault injection: replay, recovery counters, report section ------
+  {
+    auto& inj = sim::faults();
+    if (trace::report_string(tr, trace::metrics()).find("== faults ==") !=
+        std::string::npos) {
+      problems.push_back("faults: section rendered without any injection");
+    }
+    const bc::Runtime faulty{
+        .tracing = true,
+        .fault_injection = true,
+        .fault_plan = sim::FaultPlan::uniform(99, 0.05)};
+    // Pipelined across two devices so every fault site gets polled:
+    // transfers and stalls on the copy engines, group launches, per-device
+    // loss polls.
+    Options faulty_opt = opt;
+    faulty_opt.pipeline = 2;
+    faulty_opt.std_flags.devices = 2;
+    run_scenario(faulty_opt, faulty);
+    if (inj.enabled()) {
+      problems.push_back("faults: Session did not restore the injector toggle");
+    }
+    const std::uint64_t injected = inj.injected();
+    if (injected == 0) {
+      problems.push_back("faults: plan with rate 0.05 injected nothing");
+    }
+    std::uint64_t by_kind = 0;
+    for (const auto kind :
+         {sim::FaultKind::kTransferFail, sim::FaultKind::kStreamStall,
+          sim::FaultKind::kKernelAbort, sim::FaultKind::kDeviceLoss}) {
+      by_kind += inj.injected(kind);
+    }
+    if (by_kind != injected) {
+      problems.push_back("faults: per-kind counts do not sum to the total");
+    }
+    if (trace::metrics().counter_value("sim.fault.injected.count") !=
+        injected) {
+      problems.push_back("faults: injected counter disagrees with injector");
+    }
+    const std::uint64_t caught =
+        trace::metrics().counter_value("bc.fault.caught.count");
+    const std::string report = trace::report_string(tr, trace::metrics());
+    if (report.find("== faults ==") == std::string::npos) {
+      problems.push_back("faults: report lacks the faults section");
+    }
+    if (report.find("  " + std::to_string(injected) + " injected (") ==
+        std::string::npos) {
+      problems.push_back("faults: report does not state the injected count");
+    }
+    if (report.find("  recovery: " + std::to_string(caught) + " caught") ==
+        std::string::npos) {
+      problems.push_back("faults: report does not state the caught count");
+    }
+    // Same plan, same scenario: the fired-decision sequence must replay
+    // byte-identically (Session::configure restarts every site sequence).
+    std::vector<std::string> first;
+    for (const auto& rec : inj.records()) first.push_back(rec.to_string());
+    run_scenario(faulty_opt, faulty);
+    std::vector<std::string> second;
+    for (const auto& rec : inj.records()) second.push_back(rec.to_string());
+    if (first.empty() || first != second) {
+      problems.push_back("faults: same seed did not replay identical records");
+    }
+    if (inj.injected() != injected) {
+      problems.push_back("faults: same seed changed the injected count");
+    }
+  }
+
+  // --- faults compiled in but disabled: metrics JSON byte-identical ----
+  {
+    const auto metrics_json = [] {
+      std::ostringstream s;
+      trace::metrics().write_json(s);
+      return s.str();
+    };
+    trace::metrics().reset();
+    tr.clear();
+    run_scenario(opt, traced);
+    const std::string plain = metrics_json();
+    trace::metrics().reset();
+    tr.clear();
+    run_scenario(opt, bc::Runtime{.tracing = true,
+                                  .fault_injection = true,
+                                  .fault_plan = sim::FaultPlan::uniform(1, 0.0)});
+    if (metrics_json() != plain) {
+      problems.push_back(
+          "faults: enabled-at-rate-0 injector perturbed the metrics JSON");
+    }
+  }
+
   if (!problems.empty()) {
     for (const auto& p : problems) std::cerr << "selftest: " << p << "\n";
     return 1;
@@ -426,6 +517,9 @@ int main(int argc, char** argv) {
                                  "windowed-p99 SLO budget, seconds (0 = off)");
     opt.spike_factor = cli.get_double(
         "spike-factor", opt.spike_factor, "anomaly gate vs running median");
+    opt.faults = cli.get("faults", opt.faults,
+                         "deterministic fault injection: SEED[:RATE] "
+                         "(rate defaults to 0.02)");
     if (cli.help_requested()) {
       cli.print_help("bcdyn_trace",
                      "Drive a traced dynamic-BC run; write the Chrome trace, "
@@ -447,7 +541,7 @@ int main(int argc, char** argv) {
       events_file.open(opt.telemetry_events_out);
       trace::telemetry().set_event_sink(&events_file);
     }
-    const bc::Runtime runtime{
+    bc::Runtime runtime{
         .tracing = true,
         .hazard_detection = opt.hazard,
         .strict_hazards = opt.hazard,
@@ -455,6 +549,10 @@ int main(int argc, char** argv) {
         .telemetry_config = {.window = opt.std_flags.window,
                              .slo_p99_seconds = opt.slo_p99,
                              .spike_factor = opt.spike_factor}};
+    if (!opt.faults.empty()) {
+      runtime.fault_injection = true;
+      runtime.fault_plan = sim::FaultPlan::parse(opt.faults);
+    }
     int applied = 0;
     std::string decisions;
     try {
@@ -462,6 +560,10 @@ int main(int argc, char** argv) {
                              opt.decisions_out.empty() ? nullptr : &decisions);
     } catch (const sim::HazardError& e) {
       std::cerr << "bcdyn_trace: " << e.record().to_string() << "\n";
+      return 1;
+    } catch (const sim::FaultError& e) {
+      std::cerr << "bcdyn_trace: recovery exhausted: "
+                << e.record().to_string() << "\n";
       return 1;
     }
     if (telemetry_on) {
@@ -506,6 +608,10 @@ int main(int argc, char** argv) {
     }
     if (!opt.decisions_out.empty()) {
       std::cout << "  decisions    -> " << opt.decisions_out << "\n";
+    }
+    if (!opt.faults.empty()) {
+      std::cout << "  faults       -> seed " << runtime.fault_plan.seed << ", "
+                << sim::faults().injected() << " injected\n";
     }
     if (telemetry_on) {
       std::cout << "  telemetry    -> " << opt.std_flags.telemetry << "\n";
