@@ -10,8 +10,8 @@
 #include <fstream>
 #include <string>
 
+#include "bc/api.hpp"
 #include "bc/degree1_folding.hpp"
-#include "bc/dynamic_bc.hpp"
 #include "gen/generators.hpp"
 #include "graph/degree_stats.hpp"
 #include "graph/io.hpp"
@@ -49,8 +49,8 @@ int main(int argc, char** argv) {
       100.0 * folding.removed / std::max(1, g.num_vertices()),
       static_cast<long long>(folding.remaining_edges));
 
-  DynamicBc analytic(g, {.engine = EngineKind::kGpuNode,
-                         .approx = {.num_sources = sources, .seed = 12}});
+  bc::Session analytic(g, {.engine = EngineKind::kGpuNode,
+                           .approx = {.num_sources = sources, .seed = 12}});
   analytic.compute();
   std::printf("\ntop-5 central vertices (k=%d sources):\n", sources);
   for (const auto& [v, score] : analytic.top_k(5)) {
@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
           rng.next_below(static_cast<std::uint64_t>(g.num_vertices())));
       v = static_cast<VertexId>(
           rng.next_below(static_cast<std::uint64_t>(g.num_vertices())));
-    } while (u == v || analytic.dynamic_graph().has_edge(u, v));
+    } while (u == v || analytic.graph().has_edge(u, v));
     const auto r = analytic.insert_edge(u, v);
     std::printf("  +(%5d,%5d): cases 1/2/3 = %d/%d/%d, modeled %.3fms\n", u,
                 v, r.case1, r.case2, r.case3, r.modeled_seconds * 1e3);

@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "bc/dynamic_bc.hpp"
+#include "bc/api.hpp"
 #include "gen/generators.hpp"
 #include "util/rng.hpp"
 #include "util/cli.hpp"
@@ -27,8 +27,8 @@ int main(int argc, char** argv) {
   std::printf("grid: %dx%d = %d buses, %lld lines\n", rows, cols,
               grid.num_vertices(), static_cast<long long>(grid.num_edges()));
 
-  DynamicBc analytic(grid, {.engine = EngineKind::kGpuNode,
-                            .approx = {.num_sources = 96, .seed = 3}});
+  bc::Session analytic(grid, {.engine = EngineKind::kGpuNode,
+                              .approx = {.num_sources = 96, .seed = 3}});
   analytic.compute();
 
   const auto baseline =

@@ -8,7 +8,7 @@
 // and ranking.
 #include <cstdio>
 
-#include "bc/dynamic_bc.hpp"
+#include "bc/api.hpp"
 #include "gen/generators.hpp"
 #include "util/rng.hpp"
 
@@ -21,11 +21,12 @@ int main() {
   std::printf("graph: %d vertices, %lld edges\n", graph.num_vertices(),
               static_cast<long long>(graph.num_edges()));
 
-  // 2. Configure the analytic. 64 random source vertices approximate BC
-  //    (pass num_sources = 0 for the exact computation); the engine can be
+  // 2. Configure the analytic behind the public front door (bc::Session;
+  //    bc/api.hpp). 64 random source vertices approximate BC (pass
+  //    num_sources = 0 for the exact computation); the engine can be
   //    kCpu, kGpuEdge, or kGpuNode - results are identical.
-  DynamicBc analytic(graph, {.engine = EngineKind::kCpu,
-                             .approx = {.num_sources = 64, .seed = 1}});
+  bc::Session analytic(graph, {.engine = EngineKind::kCpu,
+                               .approx = {.num_sources = 64, .seed = 1}});
 
   // 3. Initial static pass (Brandes over the source set).
   analytic.compute();
@@ -44,7 +45,7 @@ int main() {
     do {
       u = static_cast<VertexId>(rng.next_below(2000));
       v = static_cast<VertexId>(rng.next_below(2000));
-    } while (u == v || analytic.dynamic_graph().has_edge(u, v));
+    } while (u == v || analytic.graph().has_edge(u, v));
 
     const UpdateOutcome r = analytic.insert_edge(u, v);
     std::printf(

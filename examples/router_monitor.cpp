@@ -9,7 +9,7 @@
 #include <memory>
 #include <vector>
 
-#include "bc/dynamic_bc.hpp"
+#include "bc/api.hpp"
 #include "gen/generators.hpp"
 #include "util/rng.hpp"
 #include "util/cli.hpp"
@@ -28,14 +28,14 @@ int main(int argc, char** argv) {
   const ApproxConfig cfg{.num_sources = sources, .seed = 4};
   struct Tracked {
     EngineKind kind;
-    std::unique_ptr<DynamicBc> analytic;
+    std::unique_ptr<bc::Session> analytic;
     double total_modeled = 0.0;
   };
   std::vector<Tracked> engines;
   for (EngineKind kind :
        {EngineKind::kCpu, EngineKind::kGpuEdge, EngineKind::kGpuNode}) {
-    engines.push_back({kind, std::make_unique<DynamicBc>(
-                           topo, DynamicBc::Options{.engine = kind, .approx = cfg}), 0.0});
+    engines.push_back({kind, std::make_unique<bc::Session>(
+                           topo, bc::Options{.engine = kind, .approx = cfg}), 0.0});
     engines.back().analytic->compute();
   }
 
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     do {
       u = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(routers)));
       v = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(routers)));
-    } while (u == v || engines[0].analytic->dynamic_graph().has_edge(u, v));
+    } while (u == v || engines[0].analytic->graph().has_edge(u, v));
 
     std::printf("(%5d,%5d) ", u, v);
     for (auto& e : engines) {

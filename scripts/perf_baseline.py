@@ -45,6 +45,7 @@ DEFAULT_BENCHES = [
     "fig1_thread_blocks",
     "pipeline_overlap",
     "scaling_device_count",
+    "service_throughput",
     "table2_dynamic_speedup",
     "table3_update_vs_recompute",
 ]

@@ -227,15 +227,9 @@ UpdateOutcome DynamicBc::insert_edges(
   UpdateOutcome total;
   for (const auto& [u, v] : edges) {
     const UpdateOutcome one = insert_edge(u, v);
-    total.inserted += one.inserted;
+    total.absorb(one);
+    // The single-edge path reports no skips; count no-op inserts here.
     if (!one.inserted) ++total.skipped;
-    total.case1 += one.case1;
-    total.case2 += one.case2;
-    total.case3 += one.case3;
-    total.max_touched = std::max(total.max_touched, one.max_touched);
-    total.update_wall_seconds += one.update_wall_seconds;
-    total.modeled_seconds += one.modeled_seconds;
-    total.structure_wall_seconds += one.structure_wall_seconds;
   }
   return total;
 }

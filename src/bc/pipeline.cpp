@@ -16,15 +16,12 @@ namespace bcdyn {
 namespace {
 
 void fold_batch(const UpdateOutcome& o, UpdateOutcome& total) {
-  total.inserted += o.inserted;
-  total.skipped += o.skipped;
-  total.case1 += o.case1;
-  total.case2 += o.case2;
-  total.case3 += o.case3;
-  total.recomputed_sources += o.recomputed_sources;
-  total.max_touched = std::max(total.max_touched, o.max_touched);
-  total.update_wall_seconds += o.update_wall_seconds;
-  total.structure_wall_seconds += o.structure_wall_seconds;
+  // Same fold as UpdateOutcome::absorb except modeled_seconds: the
+  // pipeline total's modeled time is the overlapped makespan, not the
+  // per-batch sum, so the fold must not accumulate it.
+  const double makespan = total.modeled_seconds;
+  total.absorb(o);
+  total.modeled_seconds = makespan;
 }
 
 void record_pipeline_metrics(const PipelineResult& res) {

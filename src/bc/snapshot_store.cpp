@@ -1,0 +1,50 @@
+#include "bc/snapshot_store.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bcdyn::bc {
+
+SnapshotStore::SnapshotStore(std::size_t retain)
+    : retain_(retain == 0 ? 1 : retain) {}
+
+std::uint64_t SnapshotStore::publish(std::vector<double> scores,
+                                     double commit_time,
+                                     int coalesced_updates) {
+  if (!history_.empty() && commit_time < history_.back().commit_time) {
+    throw std::invalid_argument(
+        "SnapshotStore::publish: commit_time regressed");
+  }
+  Snapshot snap;
+  snap.epoch = next_epoch_++;
+  snap.commit_time = commit_time;
+  snap.coalesced_updates = coalesced_updates;
+  snap.scores =
+      std::make_shared<const std::vector<double>>(std::move(scores));
+  history_.push_back(std::move(snap));
+  while (history_.size() > retain_) history_.pop_front();
+  return history_.back().epoch;
+}
+
+Snapshot SnapshotStore::latest() const {
+  return history_.empty() ? Snapshot{} : history_.back();
+}
+
+Snapshot SnapshotStore::pinned_at(double time) const {
+  if (history_.empty()) return {};
+  // Scan newest-first: reads pin at or near the head in practice.
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->commit_time <= time) return *it;
+  }
+  return history_.front();  // pin predates the retained horizon
+}
+
+Snapshot SnapshotStore::at_epoch(std::uint64_t epoch) const {
+  if (history_.empty() || epoch < history_.front().epoch ||
+      epoch > history_.back().epoch) {
+    return {};
+  }
+  return history_[static_cast<std::size_t>(epoch - history_.front().epoch)];
+}
+
+}  // namespace bcdyn::bc

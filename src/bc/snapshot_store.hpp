@@ -1,0 +1,72 @@
+// Epoch-versioned score snapshots: the MVCC read side of bc::Service.
+//
+// Every committed write batch publishes the full score vector as epoch
+// N+1; readers pin "the latest epoch committed at or before my start
+// time" and never observe a half-applied batch. Snapshots share ownership
+// of immutable score vectors (shared_ptr<const vector>), so publishing is
+// one append and pinning is one pointer copy - there is no copy-on-read
+// and no lock a reader can block a writer on.
+//
+// Times are modeled/virtual seconds (the Service's scheduler clock), never
+// wall clock: a replayed request stream pins bit-identical epochs.
+//
+// Retention is bounded: only the last `retain` snapshots stay resident
+// (epoch 0's static scores included while young enough). A pin older than
+// the retained horizon resolves to the oldest retained snapshot - the
+// Service never produces such a pin because reads are admitted in arrival
+// order, but the degradation is defined rather than undefined.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace bcdyn::bc {
+
+struct Snapshot {
+  std::uint64_t epoch = 0;
+  /// Virtual commit time (modeled seconds) at which this epoch became
+  /// visible to readers. Epoch 0 (the static pass) commits at 0.
+  double commit_time = 0.0;
+  /// Writes coalesced into the batch that produced this epoch (0 for the
+  /// static pass).
+  int coalesced_updates = 0;
+  std::shared_ptr<const std::vector<double>> scores;
+
+  bool valid() const { return scores != nullptr; }
+};
+
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::size_t retain = 8);
+
+  /// Appends the next epoch (monotonically increasing from 0) committing
+  /// at `commit_time`, which must be >= the previous commit time. Returns
+  /// the published epoch number.
+  std::uint64_t publish(std::vector<double> scores, double commit_time,
+                        int coalesced_updates);
+
+  /// Latest published snapshot; invalid() before the first publish.
+  Snapshot latest() const;
+
+  /// The MVCC read pin: the latest snapshot with commit_time <= time.
+  /// Falls back to the oldest retained snapshot when `time` predates the
+  /// retained horizon; invalid() before the first publish.
+  Snapshot pinned_at(double time) const;
+
+  /// Snapshot for an exact epoch, if still retained; invalid() otherwise.
+  Snapshot at_epoch(std::uint64_t epoch) const;
+
+  std::uint64_t latest_epoch() const { return next_epoch_ - 1; }
+  bool empty() const { return history_.empty(); }
+  std::size_t retained() const { return history_.size(); }
+  std::size_t retain_limit() const { return retain_; }
+
+ private:
+  std::size_t retain_;
+  std::uint64_t next_epoch_ = 0;
+  std::deque<Snapshot> history_;  // oldest first, contiguous epochs
+};
+
+}  // namespace bcdyn::bc

@@ -408,6 +408,71 @@ void write_report(const std::vector<TraceEvent>& events,
     }
   }
 
+  // --- serving layer (bc::Service) -----------------------------------
+  // Only rendered when a Service processed requests: with no Service
+  // constructed no bc.service.* key exists and the report is
+  // byte-identical to a plain run.
+  const std::uint64_t service_requests =
+      registry.counter_value("bc.service.requests.count");
+  if (service_requests > 0) {
+    out << "\n== service ==\n";
+    out << "  " << service_requests << " requests ("
+        << registry.counter_value("bc.service.reads.count") << " reads / "
+        << registry.counter_value("bc.service.writes.count") << " writes), "
+        << registry.counter_value("bc.service.reads.shed.count")
+        << " reads shed, queue peak "
+        << fmt("%.0f", registry.gauge_value("bc.service.queue_peak")) << "\n";
+    out << "  " << registry.counter_value("bc.service.commits.count")
+        << " commits coalescing "
+        << registry.counter_value("bc.service.coalesced_updates.count")
+        << " writes; latest epoch "
+        << fmt("%.0f", registry.gauge_value("bc.service.epoch"))
+        << ", virtual makespan "
+        << fmt("%.2f", registry.gauge_value("bc.service.makespan_seconds") *
+                           1e6)
+        << " us\n";
+    const auto coalesce = registry.histogram("bc.service.coalesce_size");
+    if (coalesce.count > 0) {
+      out << "  coalesce size: mean " << fmt("%.2f", coalesce.mean())
+          << ", max " << fmt("%.0f", coalesce.max) << " over "
+          << coalesce.count << " commits\n";
+    }
+    const auto read_lat = registry.histogram("bc.service.read_latency_us");
+    const auto read_wait = registry.histogram("bc.service.read_wait_us");
+    if (read_lat.count > 0) {
+      out << "  read latency: mean " << fmt("%.2f", read_lat.mean())
+          << " us, ~p99 " << fmt("%.2f", read_lat.quantile(0.99))
+          << " us, max " << fmt("%.2f", read_lat.max) << " us (queue wait mean "
+          << fmt("%.2f", read_wait.mean()) << " us)\n";
+    }
+    // Per-client request counters, in client-id order (counters() is an
+    // ordered map keyed "bc.service.client.<id>.requests.count").
+    const std::string client_prefix = "bc.service.client.";
+    const std::string client_suffix = ".requests.count";
+    bool header = false;
+    for (const auto& [name, value] : counters) {
+      if (name.compare(0, client_prefix.size(), client_prefix) != 0) continue;
+      if (name.size() <= client_prefix.size() + client_suffix.size() ||
+          name.compare(name.size() - client_suffix.size(),
+                       client_suffix.size(), client_suffix) != 0) {
+        continue;
+      }
+      const std::string id = name.substr(
+          client_prefix.size(),
+          name.size() - client_prefix.size() - client_suffix.size());
+      if (!header) {
+        out << "  client      requests        shed\n";
+        header = true;
+      }
+      char line[160];
+      std::snprintf(line, sizeof(line), "  %-8s %11llu %11llu\n", id.c_str(),
+                    static_cast<unsigned long long>(value),
+                    static_cast<unsigned long long>(registry.counter_value(
+                        client_prefix + id + ".shed.count")));
+      out << line;
+    }
+  }
+
   // --- frontier sizes (only populated in traced runs) ----------------
   const auto frontier = registry.histogram("bc.frontier_size");
   if (frontier.count > 0) {

@@ -18,7 +18,8 @@
 //                                           bc.fault.caught)
 //   9. == adaptive policy ==               (opt-in: bc.adaptive.decisions)
 //  10. == stream telemetry ==              (opt-in: telemetry updates)
-//  11. == BFS frontier sizes ==            (opt-in: bc.frontier_size)
+//  11. == service ==                       (opt-in: bc.service.requests)
+//  12. == BFS frontier sizes ==            (opt-in: bc.frontier_size)
 #pragma once
 
 #include <iosfwd>

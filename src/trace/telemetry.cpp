@@ -75,6 +75,8 @@ const char* to_string(UpdateKind kind) {
       return "remove";
     case UpdateKind::kBatch:
       return "batch";
+    case UpdateKind::kRead:
+      return "read";
   }
   return "?";
 }

@@ -37,7 +37,7 @@
 
 namespace bcdyn::trace {
 
-enum class UpdateKind { kInsert, kRemove, kBatch };
+enum class UpdateKind { kInsert, kRemove, kBatch, kRead };
 
 const char* to_string(UpdateKind kind);
 
@@ -117,7 +117,8 @@ struct TelemetrySnapshot {
   std::uint64_t slo_breaches = 0;
   bool slo_violated = false;  // windowed p99 > budget after the last update
   double ewma_seconds = 0.0;
-  /// Keys: "all", "kind:insert|remove|batch", "engine:<name>".
+  /// Keys: "all", "kind:insert|remove|batch|read", "engine:<name>".
+  /// (kind:read comes from bc::Service's served reads, not the analytic.)
   std::map<std::string, SeriesSnapshot> series;
 };
 

@@ -158,4 +158,19 @@ StdFlags parse_std_flags(const Cli& cli) {
   return std_flags;
 }
 
+ServiceFlags parse_service_flags(const Cli& cli) {
+  ServiceFlags flags;
+  flags.window_us = cli.get_double(
+      "service-window-us", flags.window_us,
+      "coalescing window in virtual us (0 = depth-only coalescing)");
+  flags.depth = static_cast<int>(
+      cli.get_int("service-depth", flags.depth,
+                  "max writes coalesced per commit (1 = uncoalesced)"));
+  flags.queue = static_cast<int>(cli.get_int(
+      "service-queue", flags.queue, "bounded read-queue depth"));
+  flags.shed = cli.get("service-shed", flags.shed,
+                       "read shed policy: oldest-read | reject-new");
+  return flags;
+}
+
 }  // namespace bcdyn::util

@@ -93,4 +93,25 @@ struct StdFlags {
 /// different defaults.
 StdFlags parse_std_flags(const Cli& cli);
 
+/// The serving-layer flags shared by every binary that drives a
+/// bc::Service. One spelling, one default, everywhere (mirrors StdFlags):
+///
+///   --service-window-us=W   coalescing window in virtual microseconds
+///                           (0 = coalesce by depth only; default 1000)
+///   --service-depth=D       max writes coalesced per commit (default 16;
+///                           1 = one-update-per-request)
+///   --service-queue=N       bounded read-queue depth (default 64)
+///   --service-shed=P        overflow policy: oldest-read | reject-new
+///
+/// Convert to a bc::ServiceConfig with bc::service_config_from_flags.
+struct ServiceFlags {
+  double window_us = 1000.0;
+  int depth = 16;
+  int queue = 64;
+  std::string shed = "oldest-read";
+};
+
+/// Reads the shared --service-* flags (registering their help lines).
+ServiceFlags parse_service_flags(const Cli& cli);
+
 }  // namespace bcdyn::util
